@@ -1,0 +1,222 @@
+package fadingrls_test
+
+// One benchmark per figure/table of the paper's evaluation (§V) plus
+// the repository's ablation tables. Each bench iteration regenerates
+// the corresponding table at a reduced statistical budget (the full
+// budget is the cmd/experiments default); reported custom metrics carry
+// the headline numbers so `go test -bench` output doubles as a compact
+// reproduction record:
+//
+//   - Fig 5 benches report failures/slot for the worst fading-aware
+//     algorithm and the best baseline at the densest sweep point;
+//   - Fig 6 benches report the RLE and LDP throughput at N=500 (6a)
+//     and α=4.5 (6b);
+//   - the ratio bench reports the worst observed OPT/RLE.
+
+import (
+	"testing"
+
+	fadingrls "repro"
+)
+
+// benchOpts is the reduced per-iteration budget: 6 instances × 50
+// slots keeps an iteration in the hundreds of milliseconds while
+// preserving every qualitative shape.
+func benchOpts(seed uint64) fadingrls.ExperimentOptions {
+	return fadingrls.ExperimentOptions{Seed: seed, Instances: 6, Slots: 50}
+}
+
+func runSpec(b *testing.B, id string) *fadingrls.ResultTable {
+	b.Helper()
+	spec, ok := fadingrls.Experiments()[id]
+	if !ok {
+		b.Fatalf("spec %q missing", id)
+	}
+	tab, err := fadingrls.RunExperiment(spec, benchOpts(uint64(b.N)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "fig5a")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(maxMean(tab, last, "ldp", "rle"), "aware-fails/slot")
+	b.ReportMetric(minMean(tab, last, "approxlogn", "approxdiversity"), "baseline-fails/slot")
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "fig5b")
+	}
+	// α = 2.5 (index 0) is the harshest point for the baselines.
+	b.ReportMetric(maxMean(tab, 0, "ldp", "rle"), "aware-fails/slot")
+	b.ReportMetric(minMean(tab, 0, "approxlogn", "approxdiversity"), "baseline-fails/slot")
+}
+
+func BenchmarkFig5aAnalytic(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "fig5a-analytic")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(minMean(tab, last, "approxlogn", "approxdiversity"), "baseline-Efails/slot")
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "fig6a")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("rle", last).Mean(), "rle-throughput@500")
+	b.ReportMetric(tab.Cell("ldp", last).Mean(), "ldp-throughput@500")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "fig6b")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("rle", last).Mean(), "rle-throughput@a4.5")
+	b.ReportMetric(tab.Cell("ldp", last).Mean(), "ldp-throughput@a4.5")
+}
+
+func BenchmarkTableARatios(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fadingrls.RunRatioTable(fadingrls.ExperimentOptions{Seed: uint64(b.N), Instances: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := 0.0
+	for i := range tab.X {
+		if m := tab.Cell("OPT/rle", i).Max(); m > worst {
+			worst = m
+		}
+	}
+	b.ReportMetric(worst, "worst-OPT/RLE")
+}
+
+func BenchmarkTableBThm31(b *testing.B) {
+	var rows []fadingrls.Thm31Row
+	for i := 0; i < b.N; i++ {
+		rows = fadingrls.RunThm31Table(uint64(b.N), 20000)
+	}
+	worst := 0.0
+	for _, r := range rows {
+		if d := r.Deviations(); d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worst-sigma-dev")
+}
+
+func BenchmarkTableCAblationClasses(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "ablation-classes")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("ldp", last).Mean(), "nested@500")
+	b.ReportMetric(tab.Cell("ldp-banded", last).Mean(), "banded@500")
+}
+
+func BenchmarkTableCAblationC2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runSpec(b, "ablation-c2")
+	}
+}
+
+func BenchmarkTableDAblationDLS(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		tab = runSpec(b, "ablation-dls")
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("dls-48r", last).Mean(), "dls48@500")
+}
+
+func BenchmarkTableEMultislot(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fadingrls.RunMultislotTable(fadingrls.ExperimentOptions{Seed: uint64(b.N), Instances: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("rle", last).Mean(), "rle-slots@500")
+	b.ReportMetric(tab.Cell("ldp", last).Mean(), "ldp-slots@500")
+}
+
+func BenchmarkTableFTraffic(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fadingrls.RunTrafficTable(fadingrls.ExperimentOptions{Seed: uint64(b.N), Instances: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("rle", last).Mean(), "rle-goodput@0.2")
+	b.ReportMetric(tab.Cell("greedy", last).Mean(), "greedy-goodput@0.2")
+}
+
+func BenchmarkTableGStaleness(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fadingrls.RunStalenessTable(fadingrls.ExperimentOptions{Seed: uint64(b.N), Instances: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("stale-rle", last).Mean(), "stale-Efails@250")
+	b.ReportMetric(tab.Cell("fresh-rle", last).Mean(), "fresh-Efails@250")
+}
+
+func BenchmarkTableHDiversity(b *testing.B) {
+	var tab *fadingrls.ResultTable
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = fadingrls.RunDiversityTable(fadingrls.ExperimentOptions{Seed: uint64(b.N), Instances: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(tab.X) - 1
+	b.ReportMetric(tab.Cell("ldp", last).Mean(), "ldp@6oct")
+	b.ReportMetric(tab.Cell("gL", last).Mean(), "gL@6oct")
+}
+
+func maxMean(tab *fadingrls.ResultTable, xi int, series ...string) float64 {
+	out := tab.Cell(series[0], xi).Mean()
+	for _, s := range series[1:] {
+		if m := tab.Cell(s, xi).Mean(); m > out {
+			out = m
+		}
+	}
+	return out
+}
+
+func minMean(tab *fadingrls.ResultTable, xi int, series ...string) float64 {
+	out := tab.Cell(series[0], xi).Mean()
+	for _, s := range series[1:] {
+		if m := tab.Cell(s, xi).Mean(); m < out {
+			out = m
+		}
+	}
+	return out
+}

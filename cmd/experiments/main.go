@@ -1,0 +1,173 @@
+// Command experiments regenerates the paper's figures and the
+// repository's ablation tables. Each figure renders as an aligned text
+// table (mean ± 95% CI per cell) and optionally as CSV files for
+// external plotting.
+//
+// Examples:
+//
+//	experiments -fig all
+//	experiments -fig fig5a -instances 50 -slots 200
+//	experiments -fig fig6b -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	fadingrls "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with explicit args and output so tests can
+// drive it end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig       = fs.String("fig", "all", "experiment id (fig5a, fig5b, fig6a, fig6b, ratio, thm31, ablation-*, or 'all')")
+		seed      = fs.Uint64("seed", 2017, "base seed (2017 reproduces EXPERIMENTS.md)")
+		instances = fs.Int("instances", 20, "independent deployments per sweep point")
+		slots     = fs.Int("slots", 100, "Monte-Carlo slots per schedule")
+		csvDir    = fs.String("csv", "", "also write <id>.csv files into this directory")
+		chart     = fs.Bool("plot", false, "also draw each table as an ASCII chart")
+		trials    = fs.Int("trials", 0, "Monte-Carlo trials per thm31 row (0 = 100000)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := fadingrls.ExperimentOptions{Seed: *seed, Instances: *instances, Slots: *slots}
+	specs := fadingrls.Experiments()
+
+	custom := map[string]bool{"ratio": true, "thm31": true, "multislot": true, "traffic": true, "staleness": true, "diversity": true}
+	var ids []string
+	switch {
+	case *fig == "all":
+		for id := range specs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		ids = append(ids, "ratio", "thm31", "multislot", "traffic", "staleness", "diversity")
+	default:
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := specs[id]; !ok && !custom[id] {
+				return fmt.Errorf("unknown experiment %q (have %v, ratio, thm31, multislot, traffic)",
+					id, sortedKeys(specs))
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		switch id {
+		case "ratio":
+			tab, err := fadingrls.RunRatioTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		case "thm31":
+			rows := fadingrls.RunThm31Table(*seed, *trials)
+			printThm31(out, rows)
+		case "multislot":
+			tab, err := fadingrls.RunMultislotTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		case "traffic":
+			tab, err := fadingrls.RunTrafficTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		case "diversity":
+			tab, err := fadingrls.RunDiversityTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		case "staleness":
+			tab, err := fadingrls.RunStalenessTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		default:
+			tab, err := fadingrls.RunExperiment(specs[id], opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func emit(out io.Writer, tab *fadingrls.ResultTable, id, csvDir string, chart bool) error {
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if chart {
+		if err := tab.RenderChart(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.RenderCSV(f)
+}
+
+func printThm31(out io.Writer, rows []fadingrls.Thm31Row) {
+	fmt.Fprintln(out, "Table B: Theorem 3.1 closed form vs Monte-Carlo")
+	fmt.Fprintln(out, "-----------------------------------------------")
+	fmt.Fprintf(out, "%-8s%-14s%-14s%-14s%-10s\n", "alpha", "interferers", "closed-form", "empirical", "sigmas")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%-8.3g%-14d%-14.6f%-14.6f%-10.2f\n",
+			r.Alpha, r.Interferers, r.ClosedForm, r.Empirical, r.Deviations())
+	}
+	fmt.Fprintln(out)
+}
+
+func sortedKeys(m map[string]fadingrls.ExperimentSpec) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v\noutput:\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+// quick keeps table runs fast in tests.
+var quick = []string{"-instances", "2", "-slots", "10"}
+
+func TestSingleFigure(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "fig6a"}, quick...)...)
+	for _, tok := range []string{"Fig 6(a)", "ldp", "rle", "links N"} {
+		if !strings.Contains(out, tok) {
+			t.Errorf("output missing %q:\n%s", tok, out)
+		}
+	}
+}
+
+func TestMultipleFiguresCommaList(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "fig6a,ratio"}, quick...)...)
+	if !strings.Contains(out, "Fig 6(a)") || !strings.Contains(out, "Table A") {
+		t.Errorf("comma list did not run both:\n%s", out)
+	}
+}
+
+func TestPlotFlag(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "fig6a", "-plot"}, quick...)...)
+	if !strings.Contains(out, "█") && !strings.Contains(out, "·") && !strings.Contains(out, "*") {
+		t.Errorf("-plot produced no chart:\n%s", out)
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	runCLI(t, append([]string{"-fig", "fig6a", "-csv", dir}, quick...)...)
+	data, err := os.ReadFile(filepath.Join(dir, "fig6a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,series,mean,ci95,n\n") {
+		t.Errorf("CSV header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestCustomTables(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "multislot"}, quick...)...)
+	if !strings.Contains(out, "Table E") {
+		t.Errorf("multislot table missing:\n%s", out)
+	}
+	out = runCLI(t, append([]string{"-fig", "staleness"}, quick...)...)
+	if !strings.Contains(out, "Table G") {
+		t.Errorf("staleness table missing:\n%s", out)
+	}
+}
+
+func TestUnknownFigureErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig99"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestThm31Table(t *testing.T) {
+	out := runCLI(t, "-fig", "thm31", "-trials", "2000")
+	if !strings.Contains(out, "Table B") || !strings.Contains(out, "closed-form") {
+		t.Errorf("thm31 output wrong:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 13 {
+		t.Errorf("thm31 table too short:\n%s", out)
+	}
+}
+
+func TestDiversityAndTrafficTables(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "diversity"}, quick...)...)
+	if !strings.Contains(out, "Table H") {
+		t.Errorf("diversity table missing:\n%s", out)
+	}
+	out = runCLI(t, append([]string{"-fig", "traffic"}, quick...)...)
+	if !strings.Contains(out, "Table F") {
+		t.Errorf("traffic table missing:\n%s", out)
+	}
+}

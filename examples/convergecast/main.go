@@ -1,0 +1,53 @@
+// Convergecast: periodic data aggregation from sensors to a sink — the
+// workload the paper cites to motivate uniform-rate scheduling. Builds
+// a geometric aggregation tree over 150 sensors, then schedules the
+// complete aggregation under the Rayleigh model with different slot
+// packers, reporting aggregation latency (the metric of the
+// aggregation-scheduling literature the paper discusses).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fadingrls "repro"
+)
+
+func main() {
+	// 150 sensors uniform in 600×600 with the sink at the center.
+	const n = 150
+	cfg := fadingrls.PaperConfig(n)
+	cfg.Region = 600
+	deployment, err := fadingrls.Generate(cfg, 77, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := deployment.Senders() // reuse the generator's sender layout
+	sink := fadingrls.Point{X: 300, Y: 300}
+
+	tree, err := fadingrls.BuildAggregationTree(nodes, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, height := tree.Depth()
+	fmt.Printf("aggregation tree: %d sensors, height %d, longest hop %.1f\n\n",
+		n, height, tree.MaxEdgeLength())
+
+	params := fadingrls.DefaultParams()
+	fmt.Printf("%-10s %12s %18s\n", "packer", "latency", "vs height LB")
+	for _, algo := range []fadingrls.Algorithm{
+		fadingrls.Greedy{},
+		fadingrls.RLE{},
+		fadingrls.LDP{},
+	} {
+		cs, err := fadingrls.Convergecast(tree, params, algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d %17.1fx\n", algo.Name(), cs.Latency,
+			float64(cs.Latency)/float64(height))
+	}
+	fmt.Println("\nevery slot of every schedule satisfies the Corollary 3.1 budget, so")
+	fmt.Println("each hop succeeds with probability ≥ 1−ε even under Rayleigh fading;")
+	fmt.Println("the sequential lower bound is the tree height (the critical path).")
+}

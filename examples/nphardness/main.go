@@ -1,0 +1,66 @@
+// Nphardness: Theorem 3.2 executed. Builds a knapsack instance,
+// embeds it into a Fading-R-LS instance with the paper's reduction
+// (Eqs. 23–28), solves both sides exactly, and shows the optima
+// coincide — the mechanical witness that maximizing fading-resistant
+// throughput is at least as hard as knapsack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fadingrls "repro"
+)
+
+func main() {
+	knap := fadingrls.KnapsackInstance{
+		Items: []fadingrls.KnapsackItem{
+			{Value: 60, Weight: 10},
+			{Value: 100, Weight: 20},
+			{Value: 120, Weight: 30},
+			{Value: 45, Weight: 15},
+			{Value: 30, Weight: 5},
+		},
+		Capacity: 50,
+	}
+	knapOpt, chosen, err := fadingrls.SolveKnapsack(knap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knapsack: 5 items, capacity %d → optimum %.0f (items %v)\n\n",
+		knap.Capacity, knapOpt, chosen)
+
+	params := fadingrls.DefaultParams()
+	red, err := fadingrls.ReduceKnapsack(knap, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reduction (Theorem 3.2):")
+	for i := 0; i < red.Links.Len(); i++ {
+		l := red.Links.Link(i)
+		tag := fmt.Sprintf("item %d", i)
+		if i == red.GadgetIndex {
+			tag = "gadget"
+		}
+		fmt.Printf("  %-7s sender (%8.3f, %8.3f)  rate %6.3g  length %.4g\n",
+			tag, l.Sender.X, l.Sender.Y, l.Rate, red.Links.Length(i))
+	}
+
+	pr, err := fadingrls.NewProblem(red.Links, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := fadingrls.Exact{}.Schedule(pr)
+	schedOpt := s.Throughput(pr)
+	want := red.GadgetRate + knapOpt
+	fmt.Printf("\nexact scheduling optimum: %.3f\n", schedOpt)
+	fmt.Printf("2·Σvalues + knapsack OPT: %.3f\n", want)
+	items := red.ItemsFromSchedule(s.Active)
+	fmt.Printf("items recovered from the schedule: %v (weight %d ≤ %d)\n",
+		items, knap.TotalWeight(items), knap.Capacity)
+	if diff := schedOpt - want; diff > 1e-6 || diff < -1e-6 {
+		log.Fatalf("optima disagree by %g — reduction broken", diff)
+	}
+	fmt.Println("\nthe optima agree: any solver for Fading-R-LS solves knapsack,")
+	fmt.Println("so Fading-R-LS is NP-hard (Theorem 3.2, verified mechanically).")
+}

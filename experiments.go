@@ -1,0 +1,61 @@
+package fadingrls
+
+import "repro/internal/experiment"
+
+// Experiment harness re-exports: everything needed to regenerate the
+// paper's figures programmatically. See cmd/experiments for the CLI.
+type (
+	// ExperimentSpec declares one figure/table sweep.
+	ExperimentSpec = experiment.Spec
+	// ExperimentOptions trade cost against precision.
+	ExperimentOptions = experiment.Options
+	// ResultTable is a rendered experiment result.
+	ResultTable = experiment.Table
+	// Thm31Row is one line of the Theorem 3.1 validation table.
+	Thm31Row = experiment.Thm31Row
+)
+
+// Experiments returns every runnable experiment spec keyed by ID
+// (fig5a, fig5b, fig6a, fig6b, ablations — see DESIGN.md §5).
+func Experiments() map[string]ExperimentSpec { return experiment.Specs() }
+
+// RunExperiment executes a spec into a table.
+func RunExperiment(spec ExperimentSpec, opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.Run(spec, opts)
+}
+
+// RunRatioTable measures empirical approximation ratios against the
+// exact optimum on small instances (Table A).
+func RunRatioTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.RatioTable(opts)
+}
+
+// RunThm31Table validates the Theorem 3.1 closed form against
+// Monte-Carlo simulation (Table B).
+func RunThm31Table(seed uint64, trials int) []Thm31Row {
+	return experiment.Thm31Table(seed, trials)
+}
+
+// RunMultislotTable measures slots-to-drain for the complete-scheduling
+// extension (Table E).
+func RunMultislotTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.MultislotTable(opts)
+}
+
+// RunTrafficTable measures queued-traffic goodput vs offered load
+// (Table F).
+func RunTrafficTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.TrafficTable(opts)
+}
+
+// RunStalenessTable measures schedule decay under random-waypoint
+// mobility (Table G).
+func RunStalenessTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.StalenessTable(opts)
+}
+
+// RunDiversityTable probes the O(g(L)) sensitivity with log-uniform
+// link lengths over a growing octave span (Table H).
+func RunDiversityTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.DiversityTable(opts)
+}

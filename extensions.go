@@ -1,0 +1,104 @@
+package fadingrls
+
+// Re-exports for the repository's extensions beyond the paper:
+// complete (multi-slot) scheduling — the paper's stated future work —
+// the traffic/queueing simulator, and the schedule repair operator.
+
+import (
+	"repro/internal/aggregation"
+	"repro/internal/dlsproto"
+	"repro/internal/mobility"
+	"repro/internal/multislot"
+	"repro/internal/sched"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+type (
+	// MultiSlotPlan is a complete schedule covering every schedulable
+	// link across consecutive slots.
+	MultiSlotPlan = multislot.Plan
+	// TrafficConfig drives the discrete-time traffic simulator.
+	TrafficConfig = simnet.Config
+	// TrafficResult summarizes a traffic simulation (goodput, delay,
+	// losses, backlog).
+	TrafficResult = simnet.Result
+)
+
+// BuildMultiSlotPlan schedules ALL links in consecutive slots by
+// repeatedly applying the one-slot algorithm to the residual links
+// (§VII future work; see internal/multislot for the guarantee
+// discussion).
+func BuildMultiSlotPlan(pr *Problem, algo Algorithm) (MultiSlotPlan, error) {
+	return multislot.Build(pr, algo)
+}
+
+// ValidateMultiSlotPlan independently re-checks a plan: every slot
+// feasible, every schedulable link covered exactly once.
+func ValidateMultiSlotPlan(pr *Problem, p MultiSlotPlan) error {
+	return p.Validate(pr)
+}
+
+// RunTraffic simulates queued packet traffic over the instance with a
+// per-slot scheduler and live Rayleigh fading.
+func RunTraffic(pr *Problem, cfg TrafficConfig) (TrafficResult, error) {
+	return simnet.Run(pr, cfg)
+}
+
+// Quantile returns the q-quantile of a sample (type-7 interpolation);
+// the companion to TrafficResult.DelaySamples for latency percentiles.
+func Quantile(xs []float64, q float64) float64 {
+	return stats.Quantile(xs, q)
+}
+
+type (
+	// MobilityConfig parameterizes the random-waypoint model.
+	MobilityConfig = mobility.Config
+	// MobilityTrace is an evolving mobile deployment; Advance moves
+	// time, Snapshot materializes the current instant as a LinkSet.
+	MobilityTrace = mobility.Trace
+)
+
+// NewMobilityTrace starts a random-waypoint trace at the instance's
+// current positions (links move as rigid sender/receiver pairs).
+func NewMobilityTrace(base *LinkSet, cfg MobilityConfig) (*MobilityTrace, error) {
+	return mobility.NewTrace(base, cfg)
+}
+
+// Repair drops links from an infeasible schedule — largest contributor
+// to the worst violation first — until it verifies feasible. Feasible
+// schedules pass through unchanged. Use it to run non-fading-aware
+// schedules safely under the Rayleigh model.
+func Repair(pr *Problem, s Schedule) Schedule {
+	return sched.Repair(pr, s)
+}
+
+type (
+	// DLSProto is the decentralized scheduler implemented as a real
+	// message-passing protocol (one goroutine-backed node per link,
+	// radio-range-limited broadcasts); the honestly-distributed
+	// counterpart of DLS. Registered as "dlsproto".
+	DLSProto = dlsproto.Algorithm
+	// DLSProtoConfig tunes the protocol (seed, cycles, radio range).
+	DLSProtoConfig = dlsproto.Config
+
+	// AggregationTree is a geometric sensor-to-sink routing tree.
+	AggregationTree = aggregation.Tree
+	// ConvergecastSchedule assigns every tree node a transmission slot
+	// respecting aggregation precedence and per-slot fading
+	// feasibility.
+	ConvergecastSchedule = aggregation.Schedule
+)
+
+// BuildAggregationTree connects each node to its nearest neighbor
+// strictly closer to the sink (acyclic by construction).
+func BuildAggregationTree(nodes []Point, sink Point) (*AggregationTree, error) {
+	return aggregation.BuildTree(nodes, sink)
+}
+
+// Convergecast schedules a complete data aggregation over the tree:
+// every node transmits once, after its children, in slots feasible
+// under the Rayleigh model, packed by the given one-slot algorithm.
+func Convergecast(t *AggregationTree, params Params, algo Algorithm) (*ConvergecastSchedule, error) {
+	return aggregation.Convergecast(t, params, algo)
+}

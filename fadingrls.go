@@ -1,0 +1,172 @@
+// Package fadingrls is the public API of the Fading-R-LS reproduction:
+// link scheduling under the Rayleigh-fading SINR model, after
+//
+//	C. Qiu and H. Shen, "Fading-Resistant Link Scheduling in Wireless
+//	Networks", ICPP 2017.
+//
+// The package exposes, through thin aliases over the internal
+// implementation packages:
+//
+//   - the instance model (Link, LinkSet, deployment generators);
+//   - the Rayleigh and deterministic channel models (Params);
+//   - the scheduling problem and all algorithms — the paper's LDP and
+//     RLE, the deterministic baselines ApproxLogN and ApproxDiversity,
+//     the exact branch-and-bound, the Greedy heuristic, and the
+//     decentralized DLS reconstruction;
+//   - schedule verification (Corollary 3.1) and the Monte-Carlo channel
+//     simulator behind the paper's failed-transmission measurements;
+//   - the experiment harness regenerating every figure of §V.
+//
+// Quick start:
+//
+//	ls, _ := fadingrls.Generate(fadingrls.PaperConfig(300), 42, 0)
+//	pr, _ := fadingrls.NewProblem(ls, fadingrls.DefaultParams())
+//	s := fadingrls.RLE{}.Schedule(pr)
+//	fmt.Println(s.Throughput(pr), fadingrls.Feasible(pr, s))
+package fadingrls
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/geom"
+	"repro/internal/mc"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/sched"
+)
+
+// Geometry and instance model.
+type (
+	// Point is a location in the plane.
+	Point = geom.Point
+	// Link is one sender→receiver transmission request.
+	Link = network.Link
+	// LinkSet is an immutable Fading-R-LS instance.
+	LinkSet = network.LinkSet
+	// GenConfig configures the random deployment generators.
+	GenConfig = network.GenConfig
+	// LengthClass is one LDP link class (Eq. 36).
+	LengthClass = network.LengthClass
+)
+
+// Channel model.
+type (
+	// Params bundles the physical-layer constants (α, γ_th, ε, P, N0).
+	Params = radio.Params
+)
+
+// Scheduling.
+type (
+	// Problem is an instance plus channel parameters with cached
+	// interference factors.
+	Problem = sched.Problem
+	// Schedule is an activation set for one time slot.
+	Schedule = sched.Schedule
+	// Algorithm is any Fading-R-LS scheduler.
+	Algorithm = sched.Algorithm
+	// Violation reports one receiver over its feasibility budget.
+	Violation = sched.Violation
+
+	// LDP is the paper's O(g(L)) link-diversity-partition algorithm.
+	LDP = sched.LDP
+	// RLE is the paper's constant-factor recursive-link-elimination
+	// algorithm for uniform rates.
+	RLE = sched.RLE
+	// ApproxLogN is the deterministic-SINR baseline of [14].
+	ApproxLogN = sched.ApproxLogN
+	// ApproxDiversity is the deterministic-SINR baseline of [15].
+	ApproxDiversity = sched.ApproxDiversity
+	// Greedy is the rate-greedy insertion heuristic.
+	Greedy = sched.Greedy
+	// Exact is the parallel branch-and-bound optimum solver.
+	Exact = sched.Exact
+	// DLS is the decentralized scheduler reconstruction.
+	DLS = sched.DLS
+	// ILP is the big-M matrix form of the problem (Eqs. 20–22).
+	ILP = sched.ILP
+)
+
+// Simulation.
+type (
+	// SimConfig configures the Monte-Carlo channel simulator.
+	SimConfig = mc.Config
+	// SimResult is a simulation summary (failed transmissions).
+	SimResult = mc.Result
+	// AdaptiveSimConfig configures precision-targeted simulation.
+	AdaptiveSimConfig = mc.AdaptiveConfig
+)
+
+// DefaultParams returns the paper's evaluation parameters
+// (α = 3, γ_th = 1, ε = 0.01, P = 1, zero noise).
+func DefaultParams() Params { return radio.DefaultParams() }
+
+// PaperConfig returns the paper's deployment configuration for n links
+// (500×500 region, link lengths uniform in [5,20], unit rates).
+func PaperConfig(n int) GenConfig { return network.PaperConfig(n) }
+
+// Generate draws a random deployment; (cfg, seed, index) fully
+// determine the instance.
+func Generate(cfg GenConfig, seed, index uint64) (*LinkSet, error) {
+	return network.Generate(cfg, seed, index)
+}
+
+// GenerateGrid builds the deterministic k×k lattice workload.
+func GenerateGrid(k int, spacing, linkLen, rate float64) (*LinkSet, error) {
+	return network.GenerateGrid(k, spacing, linkLen, rate)
+}
+
+// NewLinkSet validates and indexes an explicit link list.
+func NewLinkSet(links []Link) (*LinkSet, error) { return network.NewLinkSet(links) }
+
+// ReadLinkSet parses an instance previously written with
+// LinkSet.Write, revalidating every link.
+func ReadLinkSet(r io.Reader) (*LinkSet, error) { return network.Read(r) }
+
+// NewProblem validates parameters and precomputes interference factors.
+func NewProblem(ls *LinkSet, p Params) (*Problem, error) { return sched.NewProblem(ls, p) }
+
+// Verify independently re-checks a schedule against Corollary 3.1,
+// returning all violated receivers (empty ⇒ feasible).
+func Verify(pr *Problem, s Schedule) []Violation { return sched.Verify(pr, s) }
+
+// Feasible reports whether the schedule passes Verify.
+func Feasible(pr *Problem, s Schedule) bool { return sched.Feasible(pr, s) }
+
+// SuccessProbabilities returns each scheduled link's Theorem 3.1
+// success probability, indexed like s.Active.
+func SuccessProbabilities(pr *Problem, s Schedule) []float64 {
+	return sched.SuccessProbabilities(pr, s)
+}
+
+// ExpectedFailures returns the analytic per-slot expectation of failed
+// transmissions under the schedule.
+func ExpectedFailures(pr *Problem, s Schedule) float64 { return sched.ExpectedFailures(pr, s) }
+
+// Simulate draws Rayleigh realizations of the schedule and counts
+// failed transmissions (the paper's Fig. 5 measurement).
+func Simulate(pr *Problem, s Schedule, cfg SimConfig) (SimResult, error) {
+	return mc.Simulate(pr, s, cfg)
+}
+
+// SimulateAdaptive runs Monte-Carlo batches until the failure
+// estimate's 95% CI half-width reaches the target (or the slot cap),
+// spending effort only where variance demands it.
+func SimulateAdaptive(pr *Problem, s Schedule, cfg AdaptiveSimConfig) (SimResult, error) {
+	return mc.SimulateAdaptive(pr, s, cfg)
+}
+
+// BuildILP extracts the big-M ILP data of a problem.
+func BuildILP(pr *Problem) ILP { return sched.BuildILP(pr) }
+
+// Algorithms returns the names of all registered algorithms.
+func Algorithms() []string { return sched.Names() }
+
+// Solve runs a registered algorithm by name.
+func Solve(name string, pr *Problem) (Schedule, error) {
+	a, ok := sched.Lookup(name)
+	if !ok {
+		return Schedule{}, fmt.Errorf("fadingrls: unknown algorithm %q (have %v)", name, sched.Names())
+	}
+	return a.Schedule(pr), nil
+}

@@ -1,0 +1,247 @@
+package aggregation
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func randomNodes(seed uint64, n int, span float64) []geom.Point {
+	src := rng.Stream(seed, "agg-nodes", 0)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: src.Float64() * span, Y: src.Float64() * span}
+	}
+	return pts
+}
+
+func TestBuildTreeValid(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		nodes := randomNodes(seed, 60, 400)
+		sink := geom.Point{X: 200, Y: 200}
+		tree, err := BuildTree(nodes, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, h := tree.Depth(); h < 1 || h > 60 {
+			t.Errorf("seed %d: implausible height %d", seed, h)
+		}
+	}
+}
+
+func TestBuildTreeRejectsDuplicates(t *testing.T) {
+	sink := geom.Point{X: 0, Y: 0}
+	if _, err := BuildTree([]geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}, sink); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := BuildTree([]geom.Point{{X: 0, Y: 0}}, sink); err == nil {
+		t.Error("node at the sink accepted")
+	}
+}
+
+func TestBuildTreeParentsCloserToSink(t *testing.T) {
+	nodes := randomNodes(7, 40, 300)
+	sink := geom.Point{X: 150, Y: 150}
+	tree, err := BuildTree(nodes, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		if tree.ParentPoint(i).Dist(sink) >= nodes[i].Dist(sink) && tree.Parent[i] != SinkParent {
+			t.Errorf("node %d's parent not closer to sink", i)
+		}
+	}
+}
+
+func TestChildrenPartition(t *testing.T) {
+	tree, err := BuildTree(randomNodes(3, 30, 200), geom.Point{X: 100, Y: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	children, sinkChildren := tree.Children()
+	count := len(sinkChildren)
+	for _, cs := range children {
+		count += len(cs)
+	}
+	if count != 30 {
+		t.Errorf("children lists cover %d of 30 nodes", count)
+	}
+	if len(sinkChildren) == 0 {
+		t.Error("no node transmits directly to the sink")
+	}
+}
+
+func chainTree(t *testing.T, k int, hop float64) *Tree {
+	t.Helper()
+	// Nodes on a line approaching the sink at the origin: node i at
+	// x = (i+1)·hop. Nearest closer neighbor is always the next node
+	// toward the sink, so the tree is the chain.
+	nodes := make([]geom.Point, k)
+	for i := range nodes {
+		nodes[i] = geom.Point{X: float64(i+1) * hop, Y: 0}
+	}
+	tree, err := BuildTree(nodes, geom.Point{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestConvergecastChainExactLatency(t *testing.T) {
+	// A k-chain admits no parallelism: aggregation precedence forces
+	// exactly k slots regardless of the packer.
+	const k = 7
+	tree := chainTree(t, k, 10)
+	for _, algo := range []sched.Algorithm{sched.RLE{}, sched.Greedy{}} {
+		cs, err := Convergecast(tree, radio.DefaultParams(), algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Latency != k {
+			t.Errorf("%s: chain latency %d, want %d", algo.Name(), cs.Latency, k)
+		}
+		if err := cs.Validate(radio.DefaultParams()); err != nil {
+			t.Errorf("%s: %v", algo.Name(), err)
+		}
+		// Deepest node (farthest from sink, index k-1) must go first;
+		// node 0 (adjacent to sink) last.
+		if cs.Slot[k-1] != 0 || cs.Slot[0] != k-1 {
+			t.Errorf("%s: chain order wrong: %v", algo.Name(), cs.Slot)
+		}
+	}
+}
+
+func TestConvergecastStarLatency(t *testing.T) {
+	// k nodes all adjacent to the sink: each needs its own slot at the
+	// shared receiver, so latency = k exactly.
+	const k = 6
+	// Points at exactly radius 10 (Pythagorean coordinates, no
+	// trigonometric rounding): equal distance to the sink means none is
+	// "strictly closer", so all attach directly.
+	nodes := []geom.Point{
+		{X: 10, Y: 0}, {X: -10, Y: 0}, {X: 0, Y: 10},
+		{X: 0, Y: -10}, {X: 6, Y: 8}, {X: -6, Y: -8},
+	}
+	if len(nodes) != k {
+		t.Fatal("fixture size mismatch")
+	}
+	tree, err := BuildTree(nodes, geom.Point{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All on one circle: no node is strictly closer, so all attach to
+	// the sink directly.
+	for i, p := range tree.Parent {
+		if p != SinkParent {
+			t.Fatalf("node %d not a sink child (parent %d)", i, p)
+		}
+	}
+	cs, err := Convergecast(tree, radio.DefaultParams(), sched.Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Latency != k {
+		t.Errorf("star latency %d, want %d", cs.Latency, k)
+	}
+	if err := cs.Validate(radio.DefaultParams()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvergecastRandomValid(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		tree, err := BuildTree(randomNodes(seed, 80, 500), geom.Point{X: 250, Y: 250})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []sched.Algorithm{sched.RLE{}, sched.Greedy{}, sched.LDP{}} {
+			cs, err := Convergecast(tree, radio.DefaultParams(), algo)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, algo.Name(), err)
+			}
+			if err := cs.Validate(radio.DefaultParams()); err != nil {
+				t.Errorf("seed %d %s: %v", seed, algo.Name(), err)
+			}
+			_, h := tree.Depth()
+			if cs.Latency < h {
+				t.Errorf("seed %d %s: latency %d below tree height %d — precedence must forbid this",
+					seed, algo.Name(), cs.Latency, h)
+			}
+			if cs.Latency > 2*len(tree.Nodes) {
+				t.Errorf("seed %d %s: latency %d absurd", seed, algo.Name(), cs.Latency)
+			}
+		}
+	}
+}
+
+func TestConvergecastDeterministic(t *testing.T) {
+	tree, err := BuildTree(randomNodes(9, 50, 400), geom.Point{X: 200, Y: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Convergecast(tree, radio.DefaultParams(), sched.Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Convergecast(tree, radio.DefaultParams(), sched.Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Slot {
+		if a.Slot[i] != b.Slot[i] {
+			t.Fatalf("slot assignment differs at node %d", i)
+		}
+	}
+}
+
+func TestConvergecastSingleNode(t *testing.T) {
+	tree, err := BuildTree([]geom.Point{{X: 10, Y: 0}}, geom.Point{X: 0, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Convergecast(tree, radio.DefaultParams(), sched.RLE{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Latency != 1 || cs.Slot[0] != 0 {
+		t.Errorf("single node schedule: %+v", cs)
+	}
+}
+
+func TestGreedyPackerBeatsSequentialLatency(t *testing.T) {
+	// On a spread deployment the packer must exploit spatial reuse:
+	// latency well below the sequential bound N.
+	tree, err := BuildTree(randomNodes(11, 100, 2000), geom.Point{X: 1000, Y: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Convergecast(tree, radio.DefaultParams(), sched.Greedy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Latency >= 100 {
+		t.Errorf("no spatial reuse: latency %d for 100 nodes", cs.Latency)
+	}
+	if err := cs.Validate(radio.DefaultParams()); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkConvergecast100(b *testing.B) {
+	tree, err := BuildTree(randomNodes(1, 100, 500), geom.Point{X: 250, Y: 250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Convergecast(tree, radio.DefaultParams(), sched.Greedy{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

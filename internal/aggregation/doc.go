@@ -1,0 +1,26 @@
+// Package aggregation implements the convergecast workload that
+// motivates the paper's uniform-rate special case (§IV-B cites barrage
+// relay / sensor reporting [21], and the related-work discussion cites
+// periodic aggregation scheduling [12]): every sensor's reading must
+// reach a sink over a routing tree, a parent aggregates its children's
+// data before forwarding, and the question is how many time slots the
+// whole aggregation takes when each slot's concurrent links must be
+// feasible under the Rayleigh-fading model.
+//
+// Pieces:
+//
+//   - Tree: a geometric aggregation tree (each node's parent is its
+//     nearest neighbor strictly closer to the sink, which is acyclic by
+//     construction);
+//   - Convergecast: a precedence-respecting slot scheduler that packs
+//     ready tree edges into feasible slots with a pluggable one-slot
+//     algorithm, enforcing one transmitting child per parent per slot
+//     (the receiver-uniqueness the system model demands) — half-duplex
+//     holds automatically because a node becomes ready only after all
+//     of its children have transmitted.
+//
+// The latency (slot count) of the resulting schedule is the metric the
+// aggregation literature optimizes; the package's tests pin the exact
+// analytic latency on chain and star topologies and the feasibility of
+// every slot on random ones.
+package aggregation

@@ -1,0 +1,130 @@
+package aggregation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Tree is an aggregation tree over sensor nodes rooted at a sink.
+type Tree struct {
+	// Nodes holds the sensor positions; the sink is separate.
+	Nodes []geom.Point
+	// Sink is the root's position.
+	Sink geom.Point
+	// Parent[i] is node i's parent: another node index, or SinkParent
+	// when node i transmits directly to the sink.
+	Parent []int
+}
+
+// SinkParent marks a direct-to-sink edge.
+const SinkParent = -1
+
+// BuildTree connects every node to its nearest neighbor strictly
+// closer to the sink (the sink itself is always a candidate). Because
+// each hop strictly decreases distance-to-sink, the result is acyclic
+// and connected. Nodes must have distinct positions, none equal to the
+// sink.
+func BuildTree(nodes []geom.Point, sink geom.Point) (*Tree, error) {
+	seen := map[geom.Point]bool{sink: true}
+	for i, p := range nodes {
+		if seen[p] {
+			return nil, fmt.Errorf("aggregation: node %d duplicates another node or the sink at %v", i, p)
+		}
+		seen[p] = true
+	}
+	t := &Tree{
+		Nodes:  append([]geom.Point(nil), nodes...),
+		Sink:   sink,
+		Parent: make([]int, len(nodes)),
+	}
+	for i, p := range nodes {
+		di := p.Dist(sink)
+		best, bestDist := SinkParent, di // sink is the fallback parent
+		for j, q := range nodes {
+			if j == i || q.Dist(sink) >= di {
+				continue
+			}
+			if d := p.Dist(q); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		t.Parent[i] = best
+	}
+	return t, nil
+}
+
+// ParentPoint returns node i's parent position.
+func (t *Tree) ParentPoint(i int) geom.Point {
+	if t.Parent[i] == SinkParent {
+		return t.Sink
+	}
+	return t.Nodes[t.Parent[i]]
+}
+
+// Children returns the child lists, indexed by node; direct-to-sink
+// nodes appear in the second return.
+func (t *Tree) Children() (children [][]int, sinkChildren []int) {
+	children = make([][]int, len(t.Nodes))
+	for i, p := range t.Parent {
+		if p == SinkParent {
+			sinkChildren = append(sinkChildren, i)
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	return children, sinkChildren
+}
+
+// Depth returns each node's hop distance to the sink (direct children
+// have depth 1) and the tree height.
+func (t *Tree) Depth() ([]int, int) {
+	depth := make([]int, len(t.Nodes))
+	var walk func(i int) int
+	walk = func(i int) int {
+		if depth[i] > 0 {
+			return depth[i]
+		}
+		if t.Parent[i] == SinkParent {
+			depth[i] = 1
+		} else {
+			depth[i] = walk(t.Parent[i]) + 1
+		}
+		return depth[i]
+	}
+	height := 0
+	for i := range t.Nodes {
+		if d := walk(i); d > height {
+			height = d
+		}
+	}
+	return depth, height
+}
+
+// Validate checks that every node reaches the sink (no cycles, no
+// orphans) and that hop distances strictly decrease toward the sink.
+func (t *Tree) Validate() error {
+	for i := range t.Nodes {
+		hops := 0
+		for j := i; j != SinkParent; j = t.Parent[j] {
+			if hops++; hops > len(t.Nodes) {
+				return fmt.Errorf("aggregation: cycle reachable from node %d", i)
+			}
+			next := t.ParentPoint(j)
+			if next.Dist(t.Sink) >= t.Nodes[j].Dist(t.Sink) && t.Parent[j] != SinkParent {
+				return fmt.Errorf("aggregation: node %d's parent is not closer to the sink", j)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxEdgeLength returns the longest hop in the tree.
+func (t *Tree) MaxEdgeLength() float64 {
+	var m float64
+	for i, p := range t.Nodes {
+		m = math.Max(m, p.Dist(t.ParentPoint(i)))
+	}
+	return m
+}

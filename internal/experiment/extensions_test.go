@@ -1,0 +1,102 @@
+package experiment
+
+import "testing"
+
+func TestMultislotTable(t *testing.T) {
+	tab, err := MultislotTable(Options{Seed: 3, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Order {
+		for i, n := range tab.X {
+			cell := tab.Cell(s, i)
+			if cell.N() != 2 {
+				t.Errorf("series %s x=%v has %d entries", s, n, cell.N())
+			}
+			if cell.Mean() < 1 || cell.Mean() > n {
+				t.Errorf("series %s x=%v implausible slot count %v", s, n, cell.Mean())
+			}
+		}
+	}
+	// More links ⇒ at least as many slots for every algorithm.
+	for _, s := range tab.Order {
+		if tab.Cell(s, len(tab.X)-1).Mean() < tab.Cell(s, 0).Mean() {
+			t.Errorf("series %s: slots decreased with N", s)
+		}
+	}
+	// RLE drains faster than LDP on average.
+	if tab.Cell("rle", 2).Mean() > tab.Cell("ldp", 2).Mean() {
+		t.Errorf("RLE (%v slots) slower than LDP (%v slots)",
+			tab.Cell("rle", 2).Mean(), tab.Cell("ldp", 2).Mean())
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tab, err := TrafficTable(Options{Seed: 5, Instances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goodput grows with offered load for every scheduler (none is
+	// saturated at the lowest load).
+	for _, s := range tab.Order {
+		lo, hi := tab.Cell(s, 0).Mean(), tab.Cell(s, len(tab.X)-1).Mean()
+		if hi <= lo {
+			t.Errorf("series %s: goodput flat or falling with load (%v → %v)", s, lo, hi)
+		}
+	}
+	// At the lightest load everyone should deliver ≈ the offered rate
+	// (0.02 × 120 = 2.4 pkts/slot), within Bernoulli sampling noise of
+	// the 2×300-slot sample.
+	for _, s := range tab.Order {
+		if m := tab.Cell(s, 0).Mean(); m < 1.5 || m > 3.2 {
+			t.Errorf("series %s light-load goodput %v, want ≈2.4", s, m)
+		}
+	}
+}
+
+func TestStalenessTable(t *testing.T) {
+	tab, err := StalenessTable(Options{Seed: 9, Instances: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale schedules must decay with staleness; fresh rescheduling
+	// stays near zero at every point.
+	for _, s := range []string{"stale-rle", "stale-ldp", "stale-greedy"} {
+		zero := tab.Cell(s, 0).Mean()
+		far := tab.Cell(s, len(tab.X)-1).Mean()
+		if far <= zero {
+			t.Errorf("series %s: failures did not grow with staleness (%v → %v)", s, zero, far)
+		}
+	}
+	for i := range tab.X {
+		if m := tab.Cell("fresh-rle", i).Mean(); m > 0.05 {
+			t.Errorf("fresh reschedule shows %v failures at staleness %v", m, tab.X[i])
+		}
+	}
+}
+
+func TestDiversityTable(t *testing.T) {
+	tab, err := DiversityTable(Options{Seed: 11, Instances: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Realized g(L) must grow with the octave span.
+	gLo := tab.Cell("gL", 0).Mean()
+	gHi := tab.Cell("gL", len(tab.X)-1).Mean()
+	if gHi <= gLo {
+		t.Errorf("g(L) did not grow with octaves: %v → %v", gLo, gHi)
+	}
+	if gHi < 4 {
+		t.Errorf("6-octave instances have g(L) = %v, want ≥ 4", gHi)
+	}
+	for _, s := range []string{"ldp", "rle", "greedy"} {
+		for i := range tab.X {
+			if tab.Cell(s, i).Mean() <= 0 {
+				t.Errorf("series %s empty at x=%v", s, tab.X[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mc"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/sched"
+)
+
+// Options control the cost/precision trade of a run. The zero value
+// yields the defaults used by EXPERIMENTS.md.
+type Options struct {
+	// Seed anchors all randomness: instances and channel realizations.
+	Seed uint64
+	// Instances is the number of independent deployments per x-value.
+	// Zero means 20.
+	Instances int
+	// Slots is the number of fading realizations per schedule for
+	// Monte-Carlo metrics. Zero means mc.DefaultSlots.
+	Slots int
+	// Workers bounds the parallel fan-out; zero means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instances == 0 {
+		o.Instances = 20
+	}
+	if o.Slots == 0 {
+		o.Slots = mc.DefaultSlots
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Metric evaluates one schedule on one instance into the y-value of a
+// figure. mcSeed/slots parameterize Monte-Carlo metrics; pure metrics
+// ignore them.
+type Metric func(pr *sched.Problem, s sched.Schedule, mcSeed uint64, slots int) (float64, error)
+
+// MetricMCFailures counts failed transmissions per slot by simulation
+// (the paper's Fig. 5 measurement).
+func MetricMCFailures(pr *sched.Problem, s sched.Schedule, mcSeed uint64, slots int) (float64, error) {
+	res, err := mc.Simulate(pr, s, mc.Config{Slots: slots, Seed: mcSeed, Workers: 1})
+	if err != nil {
+		return 0, err
+	}
+	return res.Failures.Mean(), nil
+}
+
+// MetricExpectedFailures is the analytic Theorem 3.1 expectation — the
+// cross-check series for Fig. 5.
+func MetricExpectedFailures(pr *sched.Problem, s sched.Schedule, _ uint64, _ int) (float64, error) {
+	return sched.ExpectedFailures(pr, s), nil
+}
+
+// MetricThroughput is Σλ over the schedule (the paper's Fig. 6 y-axis;
+// with unit rates it equals the number of scheduled links).
+func MetricThroughput(pr *sched.Problem, s sched.Schedule, _ uint64, _ int) (float64, error) {
+	return s.Throughput(pr), nil
+}
+
+// Spec declares one figure/table: a sweep over x, a fixed algorithm
+// list, instance/radio configuration as a function of x, and a metric.
+type Spec struct {
+	// ID is the experiment identifier ("fig5a", "ratio", ...).
+	ID string
+	// Title, XLabel, YLabel feed the rendered table header.
+	Title, XLabel, YLabel string
+	// Xs are the swept values.
+	Xs []float64
+	// Algorithms are the series.
+	Algorithms []sched.Algorithm
+	// Configure maps an x-value to the deployment and radio parameters.
+	Configure func(x float64) (network.GenConfig, radio.Params)
+	// Metric produces the y-value.
+	Metric Metric
+}
+
+// Run executes the spec: Instances independent deployments per
+// x-value, every algorithm on each, metrics folded into a Table.
+// Work fans out over (x, instance) pairs; every pair derives its
+// deployment from (Seed, "deploy", pairIndex) and its channel
+// realizations from a seed mixed from the same pair index, so the
+// table is reproducible at any worker count.
+func Run(spec Spec, opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	names := make([]string, len(spec.Algorithms))
+	for i, a := range spec.Algorithms {
+		names[i] = a.Name()
+	}
+	table := NewTable(spec.Title, spec.XLabel, spec.YLabel, spec.Xs, names)
+
+	type job struct{ xi, rep int }
+	jobs := make(chan job)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				x := spec.Xs[jb.xi]
+				cfg, params := spec.Configure(x)
+				pairIdx := uint64(jb.xi)*1_000_003 + uint64(jb.rep)
+				ls, err := network.Generate(cfg, opts.Seed, pairIdx)
+				if err != nil {
+					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
+					continue
+				}
+				pr, err := sched.NewProblem(ls, params)
+				if err != nil {
+					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
+					continue
+				}
+				for ai, a := range spec.Algorithms {
+					s := a.Schedule(pr)
+					y, err := spec.Metric(pr, s, opts.Seed^(pairIdx*2654435761+uint64(ai)), opts.Slots)
+					if err != nil {
+						fail(fmt.Errorf("experiment %s x=%v rep=%d algo=%s: %w", spec.ID, x, jb.rep, a.Name(), err))
+						continue
+					}
+					mu.Lock()
+					table.Add(names[ai], jb.xi, y)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for xi := range spec.Xs {
+		for rep := 0; rep < opts.Instances; rep++ {
+			jobs <- job{xi, rep}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return table, nil
+}

@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/stats"
+)
+
+// Table is a rendered experiment result: one row per x-axis value, one
+// column group per series (algorithm), each cell a Summary across
+// repetitions.
+type Table struct {
+	// Title and caption identify the experiment ("Fig 5(a) ...").
+	Title string
+	// XLabel names the swept parameter ("links N", "alpha").
+	XLabel string
+	// YLabel names the metric ("failed transmissions/slot", "throughput").
+	YLabel string
+	// X holds the x-axis values in sweep order.
+	X []float64
+	// Series maps series name → cell summaries indexed like X.
+	Series map[string][]stats.Summary
+	// Order lists series names in display order.
+	Order []string
+}
+
+// NewTable allocates a table for the given x values and series names.
+func NewTable(title, xLabel, yLabel string, x []float64, series []string) *Table {
+	t := &Table{
+		Title:  title,
+		XLabel: xLabel,
+		YLabel: yLabel,
+		X:      append([]float64(nil), x...),
+		Series: make(map[string][]stats.Summary, len(series)),
+		Order:  append([]string(nil), series...),
+	}
+	for _, s := range series {
+		t.Series[s] = make([]stats.Summary, len(x))
+	}
+	return t
+}
+
+// Add folds one observation into cell (xIndex, series).
+func (t *Table) Add(series string, xIndex int, value float64) {
+	cells, ok := t.Series[series]
+	if !ok {
+		panic(fmt.Sprintf("experiment: unknown series %q", series))
+	}
+	cells[xIndex].Add(value)
+}
+
+// Cell returns the summary at (xIndex, series).
+func (t *Table) Cell(series string, xIndex int) stats.Summary {
+	return t.Series[series][xIndex]
+}
+
+// Render writes the table as aligned text: x in the first column, one
+// "mean ± ci" column per series.
+func (t *Table) Render(w io.Writer) error {
+	const cellW = 18
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "%s (y = %s)\n", strings.Repeat("-", len(t.Title)), t.YLabel)
+	fmt.Fprintf(&b, "%-10s", t.XLabel)
+	for _, s := range t.Order {
+		fmt.Fprintf(&b, "%*s", cellW, s)
+	}
+	b.WriteString("\n")
+	for i, x := range t.X {
+		fmt.Fprintf(&b, "%-10.4g", x)
+		for _, s := range t.Order {
+			cell := t.Series[s][i]
+			var txt string
+			switch {
+			case cell.N() == 0:
+				txt = "-"
+			case cell.N() == 1:
+				txt = fmt.Sprintf("%.4g", cell.Mean())
+			default:
+				txt = fmt.Sprintf("%.4g ±%.2g", cell.Mean(), cell.CI95())
+			}
+			fmt.Fprintf(&b, "%*s", cellW, txt)
+		}
+		b.WriteString("\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderChart draws the table as an ASCII line chart of the cell
+// means — the terminal rendition of the paper's figure.
+func (t *Table) RenderChart(w io.Writer) error {
+	series := make(map[string][]float64, len(t.Order))
+	for _, name := range t.Order {
+		ys := make([]float64, len(t.X))
+		for i := range t.X {
+			ys[i] = t.Series[name][i].Mean() // NaN for empty cells is skipped by the plotter
+		}
+		series[name] = ys
+	}
+	chart := plot.Chart{Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel}
+	return chart.Render(w, t.X, series, t.Order)
+}
+
+// RenderCSV writes "x,series,mean,ci95,n" rows for external plotting.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "x,series,mean,ci95,n\n"); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		for _, s := range t.Order {
+			cell := t.Series[s][i]
+			if _, err := fmt.Fprintf(w, "%g,%s,%g,%g,%d\n",
+				x, s, cell.Mean(), cell.CI95(), cell.N()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Thm31Row is one line of the Theorem 3.1 validation table: a random
+// link-plus-interferers configuration with the closed-form success
+// probability against its Monte-Carlo estimate.
+type Thm31Row struct {
+	// Interferers is the number of concurrent interfering senders.
+	Interferers int
+	// Alpha is the path-loss exponent of the trial.
+	Alpha float64
+	// ClosedForm is the Theorem 3.1 product.
+	ClosedForm float64
+	// Empirical is the Monte-Carlo success frequency.
+	Empirical float64
+	// Sigma is the binomial standard error of the estimate.
+	Sigma float64
+}
+
+// Deviations returns |closed − empirical| in units of sigma.
+func (r Thm31Row) Deviations() float64 {
+	if r.Sigma == 0 {
+		return 0
+	}
+	return math.Abs(r.ClosedForm-r.Empirical) / r.Sigma
+}
+
+// Thm31Table draws random configurations spanning interferer counts
+// and path-loss exponents and validates the closed form of Theorem 3.1
+// against simulation (Table B of DESIGN.md). trials = 0 means 100000.
+func Thm31Table(seed uint64, trials int) []Thm31Row {
+	if trials == 0 {
+		trials = 100_000
+	}
+	var rows []Thm31Row
+	cfgSrc := rng.Stream(seed, "thm31-config", 0)
+	for _, alpha := range []float64{2.5, 3, 4} {
+		for _, m := range []int{1, 2, 4, 8} {
+			p := radio.DefaultParams()
+			p.Alpha = alpha
+			djj := 5 + cfgSrc.Float64()*15
+			dijs := make([]float64, m)
+			for i := range dijs {
+				dijs[i] = djj * (1.5 + cfgSrc.Float64()*20)
+			}
+			closed := p.SuccessProbability(djj, dijs)
+			src := rng.Stream(seed, "thm31-mc", uint64(len(rows)))
+			succ := 0
+			for t := 0; t < trials; t++ {
+				if p.SlotSuccess(src, djj, dijs) {
+					succ++
+				}
+			}
+			emp := float64(succ) / float64(trials)
+			rows = append(rows, Thm31Row{
+				Interferers: m,
+				Alpha:       alpha,
+				ClosedForm:  closed,
+				Empirical:   emp,
+				Sigma:       math.Sqrt(closed * (1 - closed) / float64(trials)),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,10 @@
+// Package geom provides the plane-geometry substrate of the scheduler:
+// points and rectangles, the axis-aligned square partition with the
+// 4-coloring used by the LDP and ApproxLogN algorithms (paper Fig. 2),
+// and a uniform cell index supporting the radius queries that the RLE
+// and ApproxDiversity elimination steps issue.
+//
+// Coordinates are float64 throughout; distances are Euclidean. Grid
+// squares are half-open [x0,x0+β)×[y0,y0+β) so every point belongs to
+// exactly one square.
+package geom

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell identifies a square of a Grid by its integer column (A) and
+// row (B) indices — the paper's (a, b) square coordinates.
+type Cell struct {
+	A, B int
+}
+
+// Color returns the square's color under the 2×2 tiling of paper
+// Fig. 2(a): colors 0..3 laid out so that two squares share a color iff
+// their column and row indices agree modulo 2. Same-color squares are
+// therefore at least one full square apart in each axis, which is the
+// separation property the LDP feasibility proof (Theorem 4.1) uses.
+func (c Cell) Color() int {
+	return (mod2(c.A) << 1) | mod2(c.B)
+}
+
+func mod2(v int) int {
+	return v & 1
+}
+
+// Grid is a partition of the plane into axis-aligned squares of side
+// Side anchored at Origin. It is a pure coordinate transform: cells are
+// materialized lazily by the callers that bucket points into them.
+type Grid struct {
+	Origin Point   // min corner of cell (0,0)
+	Side   float64 // square side β_k > 0
+}
+
+// NewGrid returns a grid of squares of the given side anchored at the
+// min corner of region. It panics on a non-positive or non-finite side:
+// a degenerate square size always indicates an upstream parameter bug
+// (e.g. a zero shortest link length) that must not be masked.
+func NewGrid(region Rect, side float64) Grid {
+	if !(side > 0) || math.IsInf(side, 1) {
+		panic(fmt.Sprintf("geom.NewGrid: invalid square side %v", side))
+	}
+	return Grid{Origin: Point{region.MinX, region.MinY}, Side: side}
+}
+
+// CellOf returns the cell containing p.
+func (g Grid) CellOf(p Point) Cell {
+	return Cell{
+		A: int(math.Floor((p.X - g.Origin.X) / g.Side)),
+		B: int(math.Floor((p.Y - g.Origin.Y) / g.Side)),
+	}
+}
+
+// CellRect returns the square occupied by cell c.
+func (g Grid) CellRect(c Cell) Rect {
+	x0 := g.Origin.X + float64(c.A)*g.Side
+	y0 := g.Origin.Y + float64(c.B)*g.Side
+	return Rect{x0, y0, x0 + g.Side, y0 + g.Side}
+}
+
+// ChebyshevCellDist returns the Chebyshev (ring) distance between two
+// cells: the q such that c2 lies on the q-th square ring around c1.
+// The LDP interference bound sums over these rings.
+func ChebyshevCellDist(c1, c2 Cell) int {
+	da := absInt(c1.A - c2.A)
+	db := absInt(c1.B - c2.B)
+	if da > db {
+		return da
+	}
+	return db
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Bucket groups the indices of pts by the grid cell containing each
+// point. The returned map is keyed by cell; values preserve the input
+// order of indices, so deterministic tie-breaking downstream is
+// preserved.
+func (g Grid) Bucket(pts []Point) map[Cell][]int {
+	buckets := make(map[Cell][]int)
+	for i, p := range pts {
+		c := g.CellOf(p)
+		buckets[c] = append(buckets[c], i)
+	}
+	return buckets
+}

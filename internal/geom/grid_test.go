@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellOfBasic(t *testing.T) {
+	g := NewGrid(Square(100), 10)
+	cases := []struct {
+		p    Point
+		want Cell
+	}{
+		{Point{0, 0}, Cell{0, 0}},
+		{Point{9.999, 0}, Cell{0, 0}},
+		{Point{10, 0}, Cell{1, 0}},
+		{Point{55, 73}, Cell{5, 7}},
+		{Point{-0.5, -0.5}, Cell{-1, -1}},
+	}
+	for _, tc := range cases {
+		if got := g.CellOf(tc.p); got != tc.want {
+			t.Errorf("CellOf(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCellRectRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		rngSrc := rand.New(rand.NewPCG(seed, 11))
+		g := NewGrid(Square(500), 1+rngSrc.Float64()*50)
+		p := Point{rngSrc.Float64()*600 - 50, rngSrc.Float64()*600 - 50}
+		c := g.CellOf(p)
+		return g.CellRect(c).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColoringIsProper(t *testing.T) {
+	// Adjacent squares (sharing an edge or a corner) must have
+	// different colors — the property paper Fig. 2(a) requires.
+	for a := -3; a <= 3; a++ {
+		for b := -3; b <= 3; b++ {
+			c := Cell{a, b}.Color()
+			for da := -1; da <= 1; da++ {
+				for db := -1; db <= 1; db++ {
+					if da == 0 && db == 0 {
+						continue
+					}
+					if (Cell{a + da, b + db}).Color() == c {
+						t.Fatalf("adjacent cells (%d,%d) and (%d,%d) share color %d",
+							a, b, a+da, b+db, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestColoringUsesFourColors(t *testing.T) {
+	seen := map[int]bool{}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			col := Cell{a, b}.Color()
+			if col < 0 || col > 3 {
+				t.Fatalf("color %d outside 0..3", col)
+			}
+			seen[col] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("2×2 block uses %d colors, want 4", len(seen))
+	}
+}
+
+func TestColoringNegativeIndices(t *testing.T) {
+	// Cells at negative coordinates must follow the same 2-periodic
+	// pattern; a sign bug in the modulo would break the separation
+	// guarantee for deployments not anchored at the origin.
+	if (Cell{-2, 0}).Color() != (Cell{0, 0}).Color() {
+		t.Error("color not 2-periodic across negative columns")
+	}
+	if (Cell{-1, -1}).Color() == (Cell{0, -1}).Color() {
+		t.Error("adjacent negative cells share a color")
+	}
+}
+
+func TestSameColorSeparation(t *testing.T) {
+	// Same-color cells must be ≥ 2 apart in Chebyshev distance — this
+	// is exactly the "distance between same-color squares is 2qβ_k"
+	// step of Theorem 4.1.
+	for a := -4; a <= 4; a++ {
+		for b := -4; b <= 4; b++ {
+			c1 := Cell{0, 0}
+			c2 := Cell{a, b}
+			if c1 == c2 {
+				continue
+			}
+			if c1.Color() == c2.Color() && ChebyshevCellDist(c1, c2) < 2 {
+				t.Fatalf("same-color cells (0,0),(%d,%d) at distance %d < 2",
+					a, b, ChebyshevCellDist(c1, c2))
+			}
+		}
+	}
+}
+
+func TestChebyshevCellDist(t *testing.T) {
+	cases := []struct {
+		c1, c2 Cell
+		want   int
+	}{
+		{Cell{0, 0}, Cell{0, 0}, 0},
+		{Cell{0, 0}, Cell{2, 1}, 2},
+		{Cell{-1, -1}, Cell{1, 3}, 4},
+		{Cell{5, 5}, Cell{5, 9}, 4},
+	}
+	for _, tc := range cases {
+		if got := ChebyshevCellDist(tc.c1, tc.c2); got != tc.want {
+			t.Errorf("ChebyshevCellDist(%v,%v) = %d, want %d", tc.c1, tc.c2, got, tc.want)
+		}
+	}
+}
+
+func TestBucketPartition(t *testing.T) {
+	rngSrc := rand.New(rand.NewPCG(1, 2))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{rngSrc.Float64() * 500, rngSrc.Float64() * 500}
+	}
+	g := NewGrid(Square(500), 37)
+	buckets := g.Bucket(pts)
+	total := 0
+	for c, idxs := range buckets {
+		total += len(idxs)
+		for _, i := range idxs {
+			if g.CellOf(pts[i]) != c {
+				t.Fatalf("point %d bucketed into wrong cell", i)
+			}
+		}
+	}
+	if total != len(pts) {
+		t.Errorf("buckets cover %d points, want %d", total, len(pts))
+	}
+}
+
+func TestNewGridPanicsOnBadSide(t *testing.T) {
+	for _, side := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(side=%v) did not panic", side)
+				}
+			}()
+			NewGrid(Square(10), side)
+		}()
+	}
+}

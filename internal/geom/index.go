@@ -1,0 +1,124 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Index is a uniform-cell spatial index over a fixed point set,
+// supporting radius queries in expected O(points in range) time. RLE
+// and ApproxDiversity issue one radius query per scheduled link to find
+// the candidate senders to eliminate; with the paper's parameters those
+// radii cover large neighborhoods, and the index keeps the overall
+// algorithms near-linear instead of quadratic.
+//
+// The index is immutable after construction; deletions are handled by
+// the callers' own alive/dead bookkeeping so the index can be shared
+// across algorithm runs on the same instance.
+type Index struct {
+	grid Grid
+	pts  []Point
+	// cells maps a grid cell to indices of the points inside it.
+	cells map[Cell][]int32
+	// minCell/maxCell bound the populated cells; queries clamp their
+	// scan window to this range so an oversized radius costs O(cells),
+	// not O(radius²/side²).
+	minCell, maxCell Cell
+}
+
+// NewIndex builds an index over pts with the given cell side. A good
+// side is the expected query radius divided by a small constant; the
+// callers derive it from the elimination radius. Side must be positive
+// and finite.
+func NewIndex(pts []Point, side float64) *Index {
+	if !(side > 0) || math.IsInf(side, 1) {
+		panic(fmt.Sprintf("geom.NewIndex: invalid cell side %v", side))
+	}
+	box := BoundingBox(pts)
+	idx := &Index{
+		grid:  NewGrid(box, side),
+		pts:   pts,
+		cells: make(map[Cell][]int32, len(pts)),
+	}
+	for i, p := range pts {
+		c := idx.grid.CellOf(p)
+		if len(idx.cells) == 0 {
+			idx.minCell, idx.maxCell = c, c
+		} else {
+			idx.minCell.A = min(idx.minCell.A, c.A)
+			idx.minCell.B = min(idx.minCell.B, c.B)
+			idx.maxCell.A = max(idx.maxCell.A, c.A)
+			idx.maxCell.B = max(idx.maxCell.B, c.B)
+		}
+		idx.cells[c] = append(idx.cells[c], int32(i))
+	}
+	return idx
+}
+
+// clampScan intersects the query cell window [c0,c1] with the populated
+// cell bounds. The second return is false when the windows are disjoint.
+func (x *Index) clampScan(c0, c1 Cell) (Cell, Cell, bool) {
+	if len(x.cells) == 0 {
+		return c0, c1, false
+	}
+	c0.A = max(c0.A, x.minCell.A)
+	c0.B = max(c0.B, x.minCell.B)
+	c1.A = min(c1.A, x.maxCell.A)
+	c1.B = min(c1.B, x.maxCell.B)
+	return c0, c1, c0.A <= c1.A && c0.B <= c1.B
+}
+
+// Len returns the number of indexed points.
+func (x *Index) Len() int { return len(x.pts) }
+
+// WithinRadius appends to dst the indices of every indexed point p with
+// Dist(center, p) <= radius, in ascending index order within each cell
+// (overall order is cell-scan order; callers needing global determinism
+// sort or use the visit order only for set membership). It returns the
+// extended slice.
+func (x *Index) WithinRadius(dst []int, center Point, radius float64) []int {
+	if radius < 0 {
+		return dst
+	}
+	r2 := radius * radius
+	c0 := x.grid.CellOf(Point{center.X - radius, center.Y - radius})
+	c1 := x.grid.CellOf(Point{center.X + radius, center.Y + radius})
+	c0, c1, ok := x.clampScan(c0, c1)
+	if !ok {
+		return dst
+	}
+	for a := c0.A; a <= c1.A; a++ {
+		for b := c0.B; b <= c1.B; b++ {
+			for _, i := range x.cells[Cell{a, b}] {
+				if x.pts[i].Dist2(center) <= r2 {
+					dst = append(dst, int(i))
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// VisitWithinRadius calls visit for every indexed point within radius
+// of center. It is the allocation-free form of WithinRadius.
+func (x *Index) VisitWithinRadius(center Point, radius float64, visit func(i int)) {
+	if radius < 0 {
+		return
+	}
+	r2 := radius * radius
+	c0 := x.grid.CellOf(Point{center.X - radius, center.Y - radius})
+	c1 := x.grid.CellOf(Point{center.X + radius, center.Y + radius})
+	c0, c1, ok := x.clampScan(c0, c1)
+	if !ok {
+		return
+	}
+	for a := c0.A; a <= c1.A; a++ {
+		for b := c0.B; b <= c1.B; b++ {
+			for _, i := range x.cells[Cell{a, b}] {
+				if x.pts[i].Dist2(center) <= r2 {
+					visit(int(i))
+				}
+			}
+		}
+	}
+}

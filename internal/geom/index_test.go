@@ -1,0 +1,135 @@
+package geom
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomPoints(seed uint64, n int, span float64) []Point {
+	rngSrc := rand.New(rand.NewPCG(seed, 77))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rngSrc.Float64() * span, rngSrc.Float64() * span}
+	}
+	return pts
+}
+
+// bruteRadius is the O(n) oracle the index is checked against.
+func bruteRadius(pts []Point, center Point, radius float64) []int {
+	var out []int
+	r2 := radius * radius
+	for i, p := range pts {
+		if p.Dist2(center) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestWithinRadiusMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, rq uint8) bool {
+		pts := randomPoints(seed, 300, 500)
+		idx := NewIndex(pts, 25)
+		rngSrc := rand.New(rand.NewPCG(seed, 78))
+		center := Point{rngSrc.Float64() * 500, rngSrc.Float64() * 500}
+		radius := float64(rq%120) + 0.5
+		got := idx.WithinRadius(nil, center, radius)
+		want := bruteRadius(pts, center, radius)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisitWithinRadiusMatchesWithinRadius(t *testing.T) {
+	pts := randomPoints(9, 400, 500)
+	idx := NewIndex(pts, 40)
+	center := Point{250, 250}
+	want := idx.WithinRadius(nil, center, 90)
+	var got []int
+	idx.VisitWithinRadius(center, 90, func(i int) { got = append(got, i) })
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("visit found %d points, WithinRadius %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWithinRadiusBoundaryInclusive(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 4}, {6, 8}}
+	idx := NewIndex(pts, 2)
+	got := idx.WithinRadius(nil, Point{0, 0}, 5)
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("radius-5 query = %v, want [0 1] (boundary point included)", got)
+	}
+}
+
+func TestWithinRadiusNegativeRadius(t *testing.T) {
+	idx := NewIndex([]Point{{1, 1}}, 1)
+	if got := idx.WithinRadius(nil, Point{1, 1}, -1); len(got) != 0 {
+		t.Errorf("negative radius returned %v", got)
+	}
+}
+
+func TestWithinRadiusZeroRadiusExactPoint(t *testing.T) {
+	pts := []Point{{5, 5}, {5.0001, 5}}
+	idx := NewIndex(pts, 1)
+	got := idx.WithinRadius(nil, Point{5, 5}, 0)
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("zero radius query = %v, want [0]", got)
+	}
+}
+
+func TestIndexSinglePointAndDuplicates(t *testing.T) {
+	pts := []Point{{2, 2}, {2, 2}, {2, 2}}
+	idx := NewIndex(pts, 3)
+	got := idx.WithinRadius(nil, Point{2, 2}, 0.1)
+	if len(got) != 3 {
+		t.Errorf("duplicate points: got %d hits, want 3", len(got))
+	}
+	if idx.Len() != 3 {
+		t.Errorf("Len = %d, want 3", idx.Len())
+	}
+}
+
+func TestIndexLargeRadiusCoversAll(t *testing.T) {
+	pts := randomPoints(4, 200, 100)
+	idx := NewIndex(pts, 10)
+	got := idx.WithinRadius(nil, Point{50, 50}, 1e6)
+	if len(got) != len(pts) {
+		t.Errorf("huge radius found %d of %d points", len(got), len(pts))
+	}
+}
+
+func BenchmarkWithinRadius(b *testing.B) {
+	pts := randomPoints(1, 5000, 500)
+	idx := NewIndex(pts, 20)
+	dst := make([]int, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = idx.WithinRadius(dst[:0], Point{250, 250}, 60)
+	}
+	sinkInt = len(dst)
+}
+
+var sinkInt int

@@ -1,0 +1,82 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2-D Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance from p to q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance from p to q. Radius
+// queries compare against squared radii to avoid the square root on the
+// hot path.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{p.X + dx, p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.4g, %.4g)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle, closed on the min edges and open
+// on the max edges: [MinX,MaxX)×[MinY,MaxY).
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns the axis-aligned square [0,side)² used by the paper's
+// deployment region (500×500).
+func Square(side float64) Rect {
+	return Rect{0, 0, side, side}
+}
+
+// Contains reports whether p lies inside r (half-open convention).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X < r.MaxX && p.Y >= r.MinY && p.Y < r.MaxY
+}
+
+// Width and Height return the side lengths of r.
+func (r Rect) Width() float64  { return r.MaxX - r.MinX }
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Expand returns r grown by margin on every side. Deployments place
+// receivers up to the maximum link length outside the sender region, so
+// grids are built over the expanded bounding box.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{r.MinX - margin, r.MinY - margin, r.MaxX + margin, r.MaxY + margin}
+}
+
+// BoundingBox returns the smallest Rect containing all pts (with
+// zero-area degenerate boxes for empty or singleton input, positioned
+// at the origin or the point respectively). The max edges are nudged by
+// one ulp so that the half-open Contains holds for every input point.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0].X, pts[0].Y, pts[0].X, pts[0].Y}
+	for _, p := range pts[1:] {
+		r.MinX = math.Min(r.MinX, p.X)
+		r.MinY = math.Min(r.MinY, p.Y)
+		r.MaxX = math.Max(r.MaxX, p.X)
+		r.MaxY = math.Max(r.MaxY, p.Y)
+	}
+	r.MaxX = math.Nextafter(r.MaxX, math.Inf(1))
+	r.MaxY = math.Nextafter(r.MaxY, math.Inf(1))
+	return r
+}

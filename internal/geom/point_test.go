@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+		{Point{0, -1}, Point{0, 2}, 3},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Dist(tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tc.p, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestDistSymmetricAndDist2Consistent(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		if anyNaNInf(ax, ay, bx, by) {
+			return true
+		}
+		// Dist2 squares coordinates, so restrict to the range where the
+		// square does not overflow; deployments live within ~1e4 anyway.
+		for _, v := range []float64{ax, ay, bx, by} {
+			if math.Abs(v) > 1e150 {
+				return true
+			}
+		}
+		p, q := Point{ax, ay}, Point{bx, by}
+		d1, d2 := p.Dist(q), q.Dist(p)
+		if d1 != d2 {
+			return false
+		}
+		dd := p.Dist2(q)
+		return math.Abs(d1*d1-dd) <= 1e-9*(1+dd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	rngSrc := rand.New(rand.NewPCG(5, 5))
+	for i := 0; i < 2000; i++ {
+		p := Point{rngSrc.Float64() * 100, rngSrc.Float64() * 100}
+		q := Point{rngSrc.Float64() * 100, rngSrc.Float64() * 100}
+		r := Point{rngSrc.Float64() * 100, rngSrc.Float64() * 100}
+		if p.Dist(r) > p.Dist(q)+q.Dist(r)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", p, q, r)
+		}
+	}
+}
+
+func anyNaNInf(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRectContainsHalfOpen(t *testing.T) {
+	r := Square(10)
+	if !r.Contains(Point{0, 0}) {
+		t.Error("min corner must be inside")
+	}
+	if r.Contains(Point{10, 5}) || r.Contains(Point{5, 10}) {
+		t.Error("max edges must be outside (half-open)")
+	}
+	if !r.Contains(Point{9.999, 9.999}) {
+		t.Error("interior point excluded")
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := Square(100).Expand(20)
+	if r.MinX != -20 || r.MaxY != 120 {
+		t.Errorf("Expand wrong: %+v", r)
+	}
+	if r.Width() != 140 || r.Height() != 140 {
+		t.Errorf("expanded dims %v×%v, want 140×140", r.Width(), r.Height())
+	}
+}
+
+func TestBoundingBoxContainsAll(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rngSrc := rand.New(rand.NewPCG(seed, 9))
+		m := int(n%50) + 1
+		pts := make([]Point, m)
+		for i := range pts {
+			pts[i] = Point{rngSrc.Float64()*1000 - 500, rngSrc.Float64()*1000 - 500}
+		}
+		box := BoundingBox(pts)
+		for _, p := range pts {
+			if !box.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBoxEmpty(t *testing.T) {
+	box := BoundingBox(nil)
+	if box != (Rect{}) {
+		t.Errorf("empty bounding box = %+v, want zero", box)
+	}
+}

@@ -1,0 +1,88 @@
+package knapsack
+
+import "fmt"
+
+// Item is one 0/1-knapsack item with a non-negative value and a
+// positive integer weight (integer weights keep the DP exact).
+type Item struct {
+	Value  float64
+	Weight int
+}
+
+// Instance is a knapsack instance.
+type Instance struct {
+	Items    []Item
+	Capacity int
+}
+
+// Validate checks the instance domain.
+func (in Instance) Validate() error {
+	if in.Capacity < 0 {
+		return fmt.Errorf("knapsack: negative capacity %d", in.Capacity)
+	}
+	for i, it := range in.Items {
+		if it.Weight <= 0 {
+			return fmt.Errorf("knapsack: item %d weight %d, need > 0", i, it.Weight)
+		}
+		if it.Value < 0 {
+			return fmt.Errorf("knapsack: item %d value %v, need ≥ 0", i, it.Value)
+		}
+	}
+	return nil
+}
+
+// Solve returns the maximum total value of any subset with total weight
+// at most Capacity, together with the chosen item indices (ascending).
+// Standard O(n·W) dynamic program over capacities with predecessor
+// reconstruction.
+func Solve(in Instance) (float64, []int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, nil, err
+	}
+	n := len(in.Items)
+	W := in.Capacity
+	// best[w] = max value with weight budget exactly ≤ w; take[i][w]
+	// records whether item i was taken at budget w.
+	best := make([]float64, W+1)
+	take := make([][]bool, n)
+	for i, it := range in.Items {
+		take[i] = make([]bool, W+1)
+		for w := W; w >= it.Weight; w-- {
+			if cand := best[w-it.Weight] + it.Value; cand > best[w] {
+				best[w] = cand
+				take[i][w] = true
+			}
+		}
+	}
+	// Reconstruct.
+	var chosen []int
+	w := W
+	for i := n - 1; i >= 0; i-- {
+		if take[i][w] {
+			chosen = append(chosen, i)
+			w -= in.Items[i].Weight
+		}
+	}
+	// Reverse into ascending order.
+	for l, r := 0, len(chosen)-1; l < r; l, r = l+1, r-1 {
+		chosen[l], chosen[r] = chosen[r], chosen[l]
+	}
+	return best[W], chosen, nil
+}
+
+// TotalValue and TotalWeight sum the chosen items.
+func (in Instance) TotalValue(chosen []int) float64 {
+	var v float64
+	for _, i := range chosen {
+		v += in.Items[i].Value
+	}
+	return v
+}
+
+func (in Instance) TotalWeight(chosen []int) int {
+	var w int
+	for _, i := range chosen {
+		w += in.Items[i].Weight
+	}
+	return w
+}

@@ -1,0 +1,135 @@
+package knapsack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSolveClassic(t *testing.T) {
+	in := Instance{
+		Items: []Item{
+			{Value: 60, Weight: 10},
+			{Value: 100, Weight: 20},
+			{Value: 120, Weight: 30},
+		},
+		Capacity: 50,
+	}
+	v, chosen, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 220 {
+		t.Errorf("value = %v, want 220", v)
+	}
+	if len(chosen) != 2 || chosen[0] != 1 || chosen[1] != 2 {
+		t.Errorf("chosen = %v, want [1 2]", chosen)
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	// No items.
+	if v, ch, err := Solve(Instance{Capacity: 5}); err != nil || v != 0 || len(ch) != 0 {
+		t.Errorf("empty instance: %v %v %v", v, ch, err)
+	}
+	// Zero capacity: nothing fits.
+	in := Instance{Items: []Item{{Value: 5, Weight: 1}}, Capacity: 0}
+	if v, ch, _ := Solve(in); v != 0 || len(ch) != 0 {
+		t.Errorf("zero capacity picked %v (value %v)", ch, v)
+	}
+	// Item heavier than capacity.
+	in = Instance{Items: []Item{{Value: 9, Weight: 10}}, Capacity: 5}
+	if v, _, _ := Solve(in); v != 0 {
+		t.Errorf("oversized item contributed value %v", v)
+	}
+	// All items fit.
+	in = Instance{Items: []Item{{1, 1}, {2, 2}, {3, 3}}, Capacity: 10}
+	if v, ch, _ := Solve(in); v != 6 || len(ch) != 3 {
+		t.Errorf("all-fit case: value %v chosen %v", v, ch)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, _, err := Solve(Instance{Items: []Item{{1, 0}}, Capacity: 3}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, _, err := Solve(Instance{Items: []Item{{-1, 1}}, Capacity: 3}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, _, err := Solve(Instance{Capacity: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// bruteKnap is the 2^n oracle.
+func bruteKnap(in Instance) float64 {
+	n := len(in.Items)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		var v float64
+		var w int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += in.Items[i].Value
+				w += in.Items[i].Weight
+			}
+		}
+		if w <= in.Capacity && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func randomInstance(src *rng.Source, maxItems, maxWeight int) Instance {
+	n := src.IntN(maxItems) + 1
+	items := make([]Item, n)
+	totW := 0
+	for i := range items {
+		items[i] = Item{
+			Value:  float64(src.IntN(100) + 1),
+			Weight: src.IntN(maxWeight) + 1,
+		}
+		totW += items[i].Weight
+	}
+	return Instance{Items: items, Capacity: src.IntN(totW + 1)}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.Stream(seed, "knap", 0)
+		in := randomInstance(src, 12, 15)
+		v, chosen, err := Solve(in)
+		if err != nil {
+			return false
+		}
+		if in.TotalWeight(chosen) > in.Capacity {
+			return false
+		}
+		if math.Abs(in.TotalValue(chosen)-v) > 1e-9 {
+			return false
+		}
+		return math.Abs(v-bruteKnap(in)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveChosenIndicesSortedUnique(t *testing.T) {
+	src := rng.Stream(3, "knap-sort", 0)
+	for trial := 0; trial < 50; trial++ {
+		in := randomInstance(src, 10, 12)
+		_, chosen, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < len(chosen); k++ {
+			if chosen[k] <= chosen[k-1] {
+				t.Fatalf("chosen not strictly ascending: %v", chosen)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package knapsack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/radio"
+)
+
+// Reduction is the output of Reduce: the constructed scheduling
+// instance plus the bookkeeping needed to map solutions back.
+type Reduction struct {
+	// Links is the constructed Fading-R-LS instance: link i < n
+	// corresponds to item i, link n is the gadget link l_{n+1} of
+	// Eqs. 26–27.
+	Links *network.LinkSet
+	// Params are the radio parameters the construction was built for.
+	Params radio.Params
+	// GadgetIndex is the index of the gadget link (= number of items).
+	GadgetIndex int
+	// GadgetRate is λ_{n+1} = 2·Σ p_j (Eq. 28).
+	GadgetRate float64
+}
+
+// Reduce builds the Theorem 3.2 instance for a knapsack input. The
+// construction follows Eqs. 23–28 with the senders placed at the
+// prescribed distances from the origin but distinct angles (see the
+// package comment), and the item receivers at distance δ (Eq. 25)
+// radially outward from the origin so d(s_i, r_i) = δ exactly while
+// every other sender stays at least d_min − δ away.
+func Reduce(in Instance, p radio.Params) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Capacity == 0 {
+		return nil, fmt.Errorf("knapsack: reduction needs positive capacity")
+	}
+	n := len(in.Items)
+	if n == 0 {
+		return nil, fmt.Errorf("knapsack: reduction needs at least one item")
+	}
+	ge := p.GammaEps()
+
+	// Sender radii (Eq. 23): radius_i = ((e^{γ_ε·w_i/W} − 1)/γ_th)^{−1/α}.
+	radius := make([]float64, n)
+	for i, it := range in.Items {
+		e := math.Expm1(ge * float64(it.Weight) / float64(in.Capacity))
+		radius[i] = math.Pow(e/p.GammaTh, -1/p.Alpha)
+	}
+
+	// Distinct angles in (−π/4, π/4) keep item senders in the right
+	// half-plane, away from the gadget sender at (0,1).
+	senders := make([]geom.Point, n)
+	for i := range senders {
+		theta := -math.Pi/4 + math.Pi/2*float64(i+1)/float64(n+2)
+		sin, cos := math.Sincos(theta)
+		senders[i] = geom.Point{X: radius[i] * cos, Y: radius[i] * sin}
+	}
+	gadgetSender := geom.Point{X: 0, Y: 1}
+
+	// d_min: minimum pairwise distance among all senders (items and
+	// gadget), as Eq. 25 requires.
+	dMin := math.Inf(1)
+	all := append(append([]geom.Point(nil), senders...), gadgetSender)
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			dMin = math.Min(dMin, all[i].Dist(all[j]))
+		}
+	}
+	if !(dMin > 0) {
+		return nil, fmt.Errorf("knapsack: degenerate construction, coincident senders")
+	}
+
+	// δ (Eq. 25): with ratio = ((e^{γ_ε/(n+1)} − 1)/γ_th)^{−1/α},
+	// δ = d_min/(ratio + 1) so that (d_min − δ)/δ = ratio and each of
+	// the ≤ n interferers contributes at most γ_ε/(n+1) to any item
+	// receiver.
+	ratio := math.Pow(math.Expm1(ge/float64(n+1))/p.GammaTh, -1/p.Alpha)
+	delta := dMin / (ratio + 1)
+
+	links := make([]network.Link, 0, n+1)
+	var sumValue float64
+	for i, it := range in.Items {
+		// Receiver radially outward: distance to every other sender can
+		// only grow relative to the sender's own position by at most δ,
+		// preserving the ≥ d_min − δ bound the proof uses.
+		norm := senders[i].Dist(geom.Point{})
+		dir := geom.Point{X: senders[i].X / norm, Y: senders[i].Y / norm}
+		recv := senders[i].Add(dir.X*delta, dir.Y*delta)
+		rate := it.Value
+		if rate == 0 {
+			rate = math.SmallestNonzeroFloat64 // zero-value items keep a valid link
+		}
+		links = append(links, network.Link{Sender: senders[i], Receiver: recv, Rate: rate})
+		sumValue += it.Value
+	}
+	gadgetRate := 2 * sumValue
+	if gadgetRate == 0 {
+		gadgetRate = 1 // all-zero-value corner: any positive rate works
+	}
+	links = append(links, network.Link{
+		Sender:   gadgetSender,
+		Receiver: geom.Point{X: 0, Y: 0},
+		Rate:     gadgetRate,
+	})
+	ls, err := network.NewLinkSet(links)
+	if err != nil {
+		return nil, fmt.Errorf("knapsack: constructed instance invalid: %w", err)
+	}
+	return &Reduction{Links: ls, Params: p, GadgetIndex: n, GadgetRate: gadgetRate}, nil
+}
+
+// ItemsFromSchedule maps a schedule on the reduced instance back to the
+// knapsack item indices it selects (dropping the gadget link).
+func (r *Reduction) ItemsFromSchedule(active []int) []int {
+	var out []int
+	for _, i := range active {
+		if i != r.GadgetIndex {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package mathx provides the small set of numerical primitives the
+// scheduler needs beyond the standard math package: the Riemann zeta
+// function (used by the LDP and RLE constant derivations), compensated
+// summation (used by every feasibility check, where thousands of tiny
+// interference factors are accumulated), and numerically stable helpers
+// for the interference-factor formula of Corollary 3.1.
+//
+// Everything here is pure and allocation-free on the hot paths.
+package mathx

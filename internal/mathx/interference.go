@@ -1,0 +1,39 @@
+package mathx
+
+import "math"
+
+// InterferenceFactor computes the Corollary 3.1 interference factor
+//
+//	f_ij = ln(1 + γ_th · (d_jj / d_ij)^α)
+//
+// of a sender at distance dij from receiver j whose own link has length
+// djj, under decoding threshold gammaTh and path-loss exponent alpha.
+//
+// The ratio form (d_jj/d_ij)^α is the reciprocal of the paper's
+// (d_ij/d_jj)^{-α}; it is evaluated as exp(α·(ln d_jj − ln d_ij)) folded
+// into math.Pow, and the outer logarithm uses Log1p so that factors from
+// far-away senders — where the argument underflows toward zero — retain
+// full relative precision. Those tiny factors matter: the LDP proof sums
+// them over infinitely many grid rings.
+func InterferenceFactor(dij, djj, gammaTh, alpha float64) float64 {
+	return math.Log1p(gammaTh * RelativeGain(dij, djj, alpha))
+}
+
+// RelativeGain returns (d_jj/d_ij)^α, the expected interfering power at
+// receiver j from a sender at distance dij expressed in units of the
+// expected desired-signal power of a link of length djj. It is the
+// deterministic-SINR analogue of the fading interference factor and is
+// what the non-fading baselines ([14], [15]) budget against.
+func RelativeGain(dij, djj, alpha float64) float64 {
+	if dij <= 0 {
+		return math.Inf(1)
+	}
+	return math.Pow(djj/dij, alpha)
+}
+
+// GammaEps converts an acceptable error probability ε ∈ [0,1) into the
+// feasibility budget γ_ε = ln(1/(1−ε)) of Corollary 3.1, using Log1p for
+// accuracy at the small ε values the paper uses (ε = 0.01 ⇒ γ_ε ≈ 0.01005).
+func GammaEps(eps float64) float64 {
+	return -math.Log1p(-eps)
+}

@@ -1,0 +1,119 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterferenceFactorHandComputed(t *testing.T) {
+	// d_ij = d_jj ⇒ f = ln(1+γ_th).
+	if got, want := InterferenceFactor(10, 10, 1, 3), math.Log(2); math.Abs(got-want) > 1e-15 {
+		t.Errorf("equal-distance factor = %v, want ln 2 = %v", got, want)
+	}
+	// d_ij = 2·d_jj, α = 3 ⇒ ratio (1/2)^3 = 1/8, f = ln(1+γ/8).
+	if got, want := InterferenceFactor(20, 10, 1, 3), math.Log(1+1.0/8); math.Abs(got-want) > 1e-15 {
+		t.Errorf("double-distance factor = %v, want %v", got, want)
+	}
+	// Sender ten times farther, α = 2.5, γ = 2.
+	want := math.Log1p(2 * math.Pow(0.1, 2.5))
+	if got := InterferenceFactor(100, 10, 2, 2.5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("far factor = %v, want %v", got, want)
+	}
+}
+
+func TestInterferenceFactorMonotonicity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		djj := 1 + rng.Float64()*50
+		gamma := 0.1 + rng.Float64()*5
+		alpha := 2.05 + rng.Float64()*3
+		d1 := djj * (1 + rng.Float64()*10)
+		d2 := d1 * (1 + rng.Float64()*10)
+		// Farther interferer ⇒ strictly smaller factor (for d2 > d1).
+		return InterferenceFactor(d2, djj, gamma, alpha) < InterferenceFactor(d1, djj, gamma, alpha)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterferenceFactorUpperBound(t *testing.T) {
+	// The proofs of Theorems 4.1 and 4.3 repeatedly use
+	// ln(1+x) ≤ x, i.e. f_ij ≤ γ_th·(d_jj/d_ij)^α. Check it holds.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		djj := 1 + rng.Float64()*20
+		dij := djj * (0.5 + rng.Float64()*20)
+		gamma := 0.05 + rng.Float64()*4
+		alpha := 2.05 + rng.Float64()*3
+		fij := InterferenceFactor(dij, djj, gamma, alpha)
+		bound := gamma * RelativeGain(dij, djj, alpha)
+		return fij <= bound*(1+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterferenceFactorTinyArgumentPrecision(t *testing.T) {
+	// A sender 10^5 link lengths away at α = 4: the Pow argument is
+	// 1e-20, far below where ln(1+x) computed naively returns 0.
+	got := InterferenceFactor(1e6, 10, 1, 4)
+	want := math.Pow(10.0/1e6, 4) // log1p(x) ≈ x here
+	if got <= 0 || math.Abs(got-want)/want > 1e-10 {
+		t.Errorf("tiny factor = %g, want ≈ %g", got, want)
+	}
+}
+
+func TestRelativeGainZeroDistance(t *testing.T) {
+	if got := RelativeGain(0, 5, 3); !math.IsInf(got, 1) {
+		t.Errorf("RelativeGain at zero distance = %v, want +Inf", got)
+	}
+}
+
+func TestGammaEps(t *testing.T) {
+	cases := []struct{ eps, want float64 }{
+		{0, 0},
+		{0.01, 0.01005033585350145},
+		{0.1, 0.10536051565782628},
+		{0.5, math.Ln2},
+	}
+	for _, tc := range cases {
+		if got := GammaEps(tc.eps); math.Abs(got-tc.want) > 1e-15 {
+			t.Errorf("GammaEps(%v) = %.17g, want %.17g", tc.eps, got, tc.want)
+		}
+	}
+}
+
+// TestFeasibilityIdentity checks the central identity behind Corollary
+// 3.1: exp(−Σ f_ij) equals the product-form success probability of
+// Theorem 3.1, so the linear budget test and the probability test agree.
+func TestFeasibilityIdentity(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		m := int(n%8) + 1
+		djj := 2 + rng.Float64()*18
+		gamma := 0.5 + rng.Float64()*2
+		alpha := 2.1 + rng.Float64()*2.4
+		var sum Accumulator
+		prod := 1.0
+		for i := 0; i < m; i++ {
+			dij := djj * (0.8 + rng.Float64()*30)
+			sum.Add(InterferenceFactor(dij, djj, gamma, alpha))
+			prod *= 1 / (1 + gamma*RelativeGain(dij, djj, alpha))
+		}
+		return math.Abs(math.Exp(-sum.Sum())-prod) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInterferenceFactor(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = InterferenceFactor(137.5, 12.25, 1, 3)
+	}
+}

@@ -1,0 +1,115 @@
+package mathx
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.Sum() != 0 {
+		t.Fatalf("zero-value Accumulator sums to %v, want 0", a.Sum())
+	}
+}
+
+func TestAccumulatorCancellsCatastrophically(t *testing.T) {
+	// Classic Neumaier demonstration: naive summation of
+	// [1, 1e100, 1, -1e100] yields 0; the compensated sum yields 2.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := SumCompensated(xs); got != 2 {
+		t.Errorf("SumCompensated = %v, want 2", got)
+	}
+	naive := 0.0
+	for _, x := range xs {
+		naive += x
+	}
+	if naive == 2 {
+		t.Skip("platform summed naively without error; compensation untestable here")
+	}
+}
+
+func TestAccumulatorManyTinyOntoLarge(t *testing.T) {
+	// 1 + 1e6 × 1e-16 should be 1 + 1e-10; naive float addition drops
+	// every tiny term entirely.
+	var a Accumulator
+	a.Add(1)
+	for i := 0; i < 1_000_000; i++ {
+		a.Add(1e-16)
+	}
+	want := 1 + 1e-10
+	if got := a.Sum(); math.Abs(got-want) > 1e-13 {
+		t.Errorf("compensated sum = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	a.Reset()
+	a.Add(1.25)
+	if got := a.Sum(); got != 1.25 {
+		t.Errorf("after Reset sum = %v, want 1.25", got)
+	}
+}
+
+// TestSumCompensatedOrderInvariance is the property that motivates the
+// accumulator: the compensated sum of a permuted slice must agree with
+// the original to within a few ulps, even when the terms span many
+// orders of magnitude, mimicking interference factors from near and far
+// senders.
+func TestSumCompensatedOrderInvariance(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+		m := int(n%64) + 2
+		xs := make([]float64, m)
+		for i := range xs {
+			// Magnitudes from 1e-12 to 1e+4: the realistic span of f_ij.
+			xs[i] = math.Pow(10, rng.Float64()*16-12)
+		}
+		a := SumCompensated(xs)
+		rng.Shuffle(m, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		b := SumCompensated(xs)
+		ulp := math.Nextafter(math.Abs(a), math.Inf(1)) - math.Abs(a)
+		return math.Abs(a-b) <= 4*ulp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumCompensatedMatchesBigAccurateSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = math.Exp(rng.Float64()*30 - 25)
+	}
+	// Reference: sorted ascending summation (accurate for all-positive terms).
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort keeps the test dependency-free
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var ref Accumulator
+	for _, x := range sorted {
+		ref.Add(x)
+	}
+	got := SumCompensated(xs)
+	if rel := math.Abs(got-ref.Sum()) / ref.Sum(); rel > 1e-14 {
+		t.Errorf("unsorted compensated sum deviates: rel err %.3g", rel)
+	}
+}
+
+func BenchmarkAccumulator(b *testing.B) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64(i) * 1e-7
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = SumCompensated(xs)
+	}
+}

@@ -1,0 +1,87 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+// Reference values to 15 significant digits (Mathematica / DLMF).
+var zetaRef = []struct {
+	s, want float64
+}{
+	{1.5, 2.612375348685488},
+	{2, math.Pi * math.Pi / 6},
+	{2.5, 1.341487257250917},
+	{3, 1.202056903159594},
+	{3.5, 1.126733867317056},
+	{4, math.Pow(math.Pi, 4) / 90},
+	{5, 1.036927755143370},
+	{6, math.Pow(math.Pi, 6) / 945},
+	{10, 1.000994575127818},
+	{20, 1.000000953962033},
+}
+
+func TestZetaReferenceValues(t *testing.T) {
+	for _, tc := range zetaRef {
+		got := Zeta(tc.s)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 1e-12 {
+			t.Errorf("Zeta(%v) = %.16g, want %.16g (rel err %.2g)", tc.s, got, tc.want, rel)
+		}
+	}
+}
+
+func TestZetaNearOne(t *testing.T) {
+	// Divergence-region stress test: the paper permits any α > 2, so
+	// s = α−1 can approach 1. Reference value from direct summation to
+	// N = 10^5 with an Euler–Maclaurin tail (stable to 15 digits across
+	// N = 64…10^5).
+	got := Zeta(1.05)
+	const want = 20.580844302036994
+	if rel := math.Abs(got-want) / want; rel > 1e-9 {
+		t.Errorf("Zeta(1.05) = %.12g, want %.12g (rel err %.2g)", got, want, rel)
+	}
+}
+
+func TestZetaMonotoneDecreasing(t *testing.T) {
+	prev := math.Inf(1)
+	for s := 1.1; s < 12; s += 0.1 {
+		z := Zeta(s)
+		if z >= prev {
+			t.Fatalf("Zeta not strictly decreasing at s=%v: %v >= %v", s, z, prev)
+		}
+		if z <= 1 {
+			t.Fatalf("Zeta(%v) = %v, must exceed 1", s, z)
+		}
+		prev = z
+	}
+}
+
+func TestZetaLimitAtInfinity(t *testing.T) {
+	if got := Zeta(math.Inf(1)); got != 1 {
+		t.Errorf("Zeta(+Inf) = %v, want 1", got)
+	}
+	if got := Zeta(700); math.Abs(got-1) > 1e-15 {
+		t.Errorf("Zeta(700) = %v, want ≈1", got)
+	}
+}
+
+func TestZetaPanicsOutsideDomain(t *testing.T) {
+	for _, s := range []float64{1, 0.5, 0, -2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Zeta(%v) did not panic", s)
+				}
+			}()
+			Zeta(s)
+		}()
+	}
+}
+
+func BenchmarkZeta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkFloat = Zeta(2.5)
+	}
+}
+
+var sinkFloat float64

@@ -1,0 +1,177 @@
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config drives one simulation run.
+type Config struct {
+	// Slots is the number of fading realizations. Zero means
+	// DefaultSlots.
+	Slots int
+	// Seed feeds the per-slot streams.
+	Seed uint64
+	// Workers bounds the worker pool; zero means GOMAXPROCS.
+	Workers int
+	// CoherenceSlots models block fading: channel coefficients are
+	// redrawn every CoherenceSlots slots and held constant within a
+	// block, so consecutive failures correlate (a deep fade persists
+	// through the block). 0 or 1 is the paper's i.i.d.-per-slot model.
+	// Statistics per slot are unchanged in expectation; only temporal
+	// correlation — and hence the variance of per-slot failure counts —
+	// grows with the block length.
+	CoherenceSlots int
+	// BlockOffset shifts the coherence-block indices used to derive
+	// per-block streams, so consecutive runs with offsets 0, k, 2k, …
+	// extend one logical realization sequence instead of replaying it.
+	// SimulateAdaptive uses this; leave zero for standalone runs.
+	BlockOffset int
+}
+
+// DefaultSlots is the per-schedule realization count used by the
+// figure harness.
+const DefaultSlots = 100
+
+// Result summarizes a simulation run of one schedule.
+type Result struct {
+	// Failures summarizes the per-slot count of failed transmissions.
+	Failures stats.Summary
+	// PerLinkFailures[k] counts the slots in which the k-th scheduled
+	// link (indexed like Schedule.Active) failed.
+	PerLinkFailures []int64
+	// Expected is the Theorem 3.1 analytic expectation of failures per
+	// slot — the cross-check for Failures.Mean().
+	Expected float64
+	// Slots echoes the realization count.
+	Slots int
+}
+
+// FailureRate returns the mean fraction of scheduled links that failed
+// per slot (0 for an empty schedule).
+func (r Result) FailureRate() float64 {
+	if len(r.PerLinkFailures) == 0 {
+		return 0
+	}
+	return r.Failures.Mean() / float64(len(r.PerLinkFailures))
+}
+
+// Simulate draws cfg.Slots Rayleigh realizations of the schedule and
+// counts failed transmissions per slot.
+//
+// Slot k uses rng.Stream(cfg.Seed, "mc-slot", k), consuming one
+// exponential per (active sender, active receiver) pair in ascending
+// receiver-then-sender order; results are reproducible and independent
+// of the worker count.
+func Simulate(pr *sched.Problem, s sched.Schedule, cfg Config) (Result, error) {
+	slots := cfg.Slots
+	if slots == 0 {
+		slots = DefaultSlots
+	}
+	if slots < 0 {
+		return Result{}, fmt.Errorf("mc: negative slot count %d", slots)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := s.Len()
+	res := Result{
+		PerLinkFailures: make([]int64, m),
+		Expected:        sched.ExpectedFailures(pr, s),
+		Slots:           slots,
+	}
+	if m == 0 || slots == 0 {
+		for i := 0; i < slots; i++ {
+			res.Failures.Add(0)
+		}
+		return res, nil
+	}
+
+	// Precompute the mean-gain table restricted to the active set:
+	// mean[j][i] = P_i · d_{active[i],active[j]}^{−α} (sender i →
+	// receiver j), honoring per-link power overrides.
+	mean := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		mean[j] = make([]float64, m)
+		for i := 0; i < m; i++ {
+			mean[j][i] = pr.Params.MeanGainP(pr.PowerOf(s.Active[i]),
+				pr.Links.Dist(s.Active[i], s.Active[j]))
+		}
+	}
+	params := pr.Params
+	gammaTh := params.GammaTh
+	coherence := cfg.CoherenceSlots
+	if coherence <= 0 {
+		coherence = 1
+	}
+
+	type slotOut struct {
+		failed    int
+		linksDown []int32 // indices (into Active) of failed links
+	}
+	outs := make([]slotOut, slots)
+	var wg sync.WaitGroup
+	// Work is dealt in coherence blocks so a block's gains are drawn
+	// once from the block's own stream, keeping results independent of
+	// worker count even under block fading.
+	blocks := (slots + coherence - 1) / coherence
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gains := make([]float64, m*m)
+			for block := range next {
+				src := rng.Stream(cfg.Seed, "mc-slot", uint64(cfg.BlockOffset+block))
+				// One draw per (receiver, sender) pair per block, in
+				// row-major receiver-then-sender order.
+				for j := 0; j < m; j++ {
+					for i := 0; i < m; i++ {
+						gains[j*m+i] = src.Exp(mean[j][i])
+					}
+				}
+				lo := block * coherence
+				hi := min(lo+coherence, slots)
+				for slot := lo; slot < hi; slot++ {
+					out := &outs[slot]
+					for j := 0; j < m; j++ {
+						den := params.N0
+						row := gains[j*m : (j+1)*m]
+						for i, g := range row {
+							if i != j {
+								den += g
+							}
+						}
+						failed := false
+						if den > 0 {
+							failed = row[j]/den < gammaTh
+						}
+						if failed {
+							out.failed++
+							out.linksDown = append(out.linksDown, int32(j))
+						}
+					}
+				}
+			}
+		}()
+	}
+	for block := 0; block < blocks; block++ {
+		next <- block
+	}
+	close(next)
+	wg.Wait()
+
+	for slot := range outs {
+		res.Failures.Add(float64(outs[slot].failed))
+		for _, j := range outs[slot].linksDown {
+			res.PerLinkFailures[j]++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,175 @@
+// Package mobility adds the time-varying topology the paper's
+// introduction motivates ("fading fluctuations in signal strength due
+// to mobility in a multi-path propagation environment"): a random-
+// waypoint model that moves every link across the deployment region so
+// schedules computed at one instant decay as the interference geometry
+// churns.
+//
+// Links move as rigid pairs — the receiver keeps its offset from its
+// sender (a platoon/vehicle model) — so link lengths are invariant and
+// every snapshot is a valid instance; what changes, and what the
+// staleness experiment measures, is the interference geometry between
+// links.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/rng"
+)
+
+// Config parameterizes the random-waypoint model.
+type Config struct {
+	// Region is the square side within which senders roam.
+	Region float64
+	// SpeedMin and SpeedMax bound each leg's speed in distance units
+	// per slot.
+	SpeedMin, SpeedMax float64
+	// Seed drives waypoint and speed draws.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case !(c.Region > 0):
+		return fmt.Errorf("mobility: region %v, need > 0", c.Region)
+	case !(c.SpeedMin > 0) || c.SpeedMax < c.SpeedMin:
+		return fmt.Errorf("mobility: speed range [%v,%v] invalid", c.SpeedMin, c.SpeedMax)
+	}
+	return nil
+}
+
+// Trace is the evolving state of a mobile deployment. Advance moves
+// time forward; Snapshot materializes the current instant as a
+// LinkSet. A Trace is a deterministic function of (base instance,
+// config), whatever the Advance call pattern: state evolves in
+// whole-slot steps.
+type Trace struct {
+	cfg      Config
+	src      *rng.Source
+	offsets  []geom.Point // receiver − sender, fixed per link
+	rates    []float64
+	powers   []float64
+	pos      []geom.Point // current sender positions
+	waypoint []geom.Point
+	speed    []float64
+	epoch    int
+}
+
+// NewTrace starts a trace at the base instance's positions.
+func NewTrace(base *network.LinkSet, cfg Config) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := base.Len()
+	t := &Trace{
+		cfg:      cfg,
+		src:      rng.Stream(cfg.Seed, "mobility", 0),
+		offsets:  make([]geom.Point, n),
+		rates:    make([]float64, n),
+		powers:   make([]float64, n),
+		pos:      make([]geom.Point, n),
+		waypoint: make([]geom.Point, n),
+		speed:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		l := base.Link(i)
+		t.pos[i] = l.Sender
+		t.offsets[i] = geom.Point{X: l.Receiver.X - l.Sender.X, Y: l.Receiver.Y - l.Sender.Y}
+		t.rates[i] = l.Rate
+		t.powers[i] = l.Power
+		t.newLeg(i)
+	}
+	return t, nil
+}
+
+// newLeg draws a fresh waypoint and speed for node i.
+func (t *Trace) newLeg(i int) {
+	t.waypoint[i] = geom.Point{
+		X: t.src.Float64() * t.cfg.Region,
+		Y: t.src.Float64() * t.cfg.Region,
+	}
+	t.speed[i] = t.src.UniformRange(t.cfg.SpeedMin, t.cfg.SpeedMax)
+}
+
+// Epoch returns the number of slots advanced so far.
+func (t *Trace) Epoch() int { return t.epoch }
+
+// Advance moves every link forward by the given number of slots.
+func (t *Trace) Advance(slots int) {
+	for s := 0; s < slots; s++ {
+		t.epoch++
+		for i := range t.pos {
+			remaining := t.speed[i]
+			// A fast node can pass through several waypoints per slot.
+			for remaining > 0 {
+				d := t.pos[i].Dist(t.waypoint[i])
+				if d <= remaining {
+					t.pos[i] = t.waypoint[i]
+					remaining -= d
+					t.newLeg(i)
+					continue
+				}
+				frac := remaining / d
+				t.pos[i] = geom.Point{
+					X: t.pos[i].X + (t.waypoint[i].X-t.pos[i].X)*frac,
+					Y: t.pos[i].Y + (t.waypoint[i].Y-t.pos[i].Y)*frac,
+				}
+				remaining = 0
+			}
+		}
+	}
+}
+
+// Snapshot materializes the current instant as a validated LinkSet.
+func (t *Trace) Snapshot() (*network.LinkSet, error) {
+	links := make([]network.Link, len(t.pos))
+	for i, p := range t.pos {
+		links[i] = network.Link{
+			Sender:   p,
+			Receiver: p.Add(t.offsets[i].X, t.offsets[i].Y),
+			Rate:     t.rates[i],
+			Power:    t.powers[i],
+		}
+	}
+	return network.NewLinkSet(links)
+}
+
+// MaxDisplacement returns the largest distance any sender can cover in
+// the given number of slots — the staleness radius of a schedule.
+func (t *Trace) MaxDisplacement(slots int) float64 {
+	return t.cfg.SpeedMax * float64(slots)
+}
+
+// InRegion reports whether every sender currently lies inside the
+// roaming region (waypoints are drawn inside it, so this is an
+// invariant the tests pin).
+func (t *Trace) InRegion() bool {
+	for _, p := range t.pos {
+		if p.X < -eps || p.X > t.cfg.Region+eps || p.Y < -eps || p.Y > t.cfg.Region+eps {
+			return false
+		}
+	}
+	return true
+}
+
+const eps = 1e-9
+
+// Positions returns a copy of the current sender positions.
+func (t *Trace) Positions() []geom.Point {
+	return append([]geom.Point(nil), t.pos...)
+}
+
+// MaxStep returns the largest per-node displacement between two
+// position snapshots — used to check the speed bound.
+func MaxStep(before, after []geom.Point) float64 {
+	var m float64
+	for i := range before {
+		m = math.Max(m, before[i].Dist(after[i]))
+	}
+	return m
+}

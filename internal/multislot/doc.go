@@ -1,0 +1,18 @@
+// Package multislot implements the paper's stated future work
+// (§VII): scheduling ALL links in the minimum number of time slots
+// rather than maximizing one slot's throughput.
+//
+// The builder is the classical reduction from one-shot capacity
+// maximization to complete scheduling: repeatedly run a one-slot
+// algorithm on the residual link set, commit its schedule as the next
+// slot, and recurse until every schedulable link is assigned. With a
+// ρ-approximate one-slot scheduler this greedy set-cover-style loop is
+// O(ρ·log n)-competitive with the optimal slot count — the standard
+// argument: each round covers at least a 1/ρ fraction of what the best
+// single slot of the optimal plan could cover.
+//
+// Links whose singleton schedule is itself infeasible (possible only
+// under the noise extension, where a long link's noise term exceeds
+// γ_ε) can never transmit and are reported separately rather than
+// looping forever.
+package multislot

@@ -1,0 +1,94 @@
+package network
+
+import (
+	"math"
+	"sort"
+)
+
+// Magnitude returns h(l) = ⌊log₂(d(l)/δ)⌋, the length magnitude of a
+// link relative to the shortest length δ. Definition 4.1 defines the
+// length-diversity set through pairwise ratios; anchoring at δ yields
+// the same set of magnitudes because ⌊log₂(d/d')⌋ over all pairs spans
+// exactly the anchored values (the shortest link has magnitude 0).
+func Magnitude(length, delta float64) int {
+	return int(math.Floor(math.Log2(length / delta)))
+}
+
+// DiversitySet returns G(L), the sorted distinct length magnitudes of
+// the instance (Definition 4.1), and δ. Empty instance → nil, 0.
+func (ls *LinkSet) DiversitySet() ([]int, float64) {
+	if ls.n == 0 {
+		return nil, 0
+	}
+	delta, _ := ls.MinLength()
+	seen := map[int]bool{}
+	for i := 0; i < ls.n; i++ {
+		seen[Magnitude(ls.Length(i), delta)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out, delta
+}
+
+// Diversity returns g(L) = |G(L)|, the link length diversity.
+func (ls *LinkSet) Diversity() int {
+	set, _ := ls.DiversitySet()
+	return len(set)
+}
+
+// LengthClass is one LDP link class L_k: the (nested) set of links of
+// length below the class ceiling 2^{h_k+1}·δ (Eq. 36), together with
+// the magnitude h_k it was built from.
+type LengthClass struct {
+	// H is the magnitude h_k defining the class.
+	H int
+	// Ceiling is the exclusive length upper bound 2^{H+1}·δ.
+	Ceiling float64
+	// Members are the indices of links with length < Ceiling, in
+	// ascending index order. Classes are nested: the class for a larger
+	// H contains every smaller class's members.
+	Members []int
+}
+
+// LengthClasses builds the g(L) nested link classes of Eq. 36, one per
+// magnitude in G(L), in ascending magnitude order. This is the paper's
+// improvement over [14]: classes are only upper-bounded, so shorter
+// links remain candidates in every higher class.
+func (ls *LinkSet) LengthClasses() []LengthClass {
+	set, delta := ls.DiversitySet()
+	classes := make([]LengthClass, 0, len(set))
+	for _, h := range set {
+		ceil := math.Pow(2, float64(h)+1) * delta
+		var members []int
+		for i := 0; i < ls.n; i++ {
+			if ls.Length(i) < ceil {
+				members = append(members, i)
+			}
+		}
+		classes = append(classes, LengthClass{H: h, Ceiling: ceil, Members: members})
+	}
+	return classes
+}
+
+// BandedLengthClasses builds the original [14]-style disjoint classes
+// (2^{h_k}·δ ≤ length < 2^{h_k+1}·δ). Kept for the ablation experiment
+// that measures how much the paper's nested-class improvement buys.
+func (ls *LinkSet) BandedLengthClasses() []LengthClass {
+	set, delta := ls.DiversitySet()
+	classes := make([]LengthClass, 0, len(set))
+	for _, h := range set {
+		floor := math.Pow(2, float64(h)) * delta
+		ceil := floor * 2
+		var members []int
+		for i := 0; i < ls.n; i++ {
+			if l := ls.Length(i); l >= floor && l < ceil {
+				members = append(members, i)
+			}
+		}
+		classes = append(classes, LengthClass{H: h, Ceiling: ceil, Members: members})
+	}
+	return classes
+}

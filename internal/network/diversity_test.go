@@ -1,0 +1,157 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// lengthsInstance builds a valid instance whose link lengths are
+// exactly the given values (links spaced far apart along the x-axis).
+func lengthsInstance(t *testing.T, lengths ...float64) *LinkSet {
+	t.Helper()
+	links := make([]Link, len(lengths))
+	for i, L := range lengths {
+		x := float64(i) * 1e6
+		links[i] = Link{
+			Sender:   geom.Point{X: x, Y: 0},
+			Receiver: geom.Point{X: x + L, Y: 0},
+			Rate:     1,
+		}
+	}
+	ls, err := NewLinkSet(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+func TestMagnitude(t *testing.T) {
+	cases := []struct {
+		length, delta float64
+		want          int
+	}{
+		{5, 5, 0},
+		{9.99, 5, 0},
+		{10, 5, 1},
+		{20, 5, 2},
+		{39.9, 5, 2},
+		{40, 5, 3},
+	}
+	for _, tc := range cases {
+		if got := Magnitude(tc.length, tc.delta); got != tc.want {
+			t.Errorf("Magnitude(%v,%v) = %d, want %d", tc.length, tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestDiversitySingleMagnitude(t *testing.T) {
+	ls := lengthsInstance(t, 5, 6, 7, 9.9)
+	set, delta := ls.DiversitySet()
+	if delta != 5 {
+		t.Errorf("delta = %v", delta)
+	}
+	if len(set) != 1 || set[0] != 0 {
+		t.Errorf("DiversitySet = %v, want [0]", set)
+	}
+	if ls.Diversity() != 1 {
+		t.Errorf("Diversity = %d, want 1", ls.Diversity())
+	}
+}
+
+func TestDiversityMultipleMagnitudes(t *testing.T) {
+	// Lengths 5, 12, 45, 100: magnitudes 0, 1, 3, 4 → g = 4 with a gap
+	// at 2 (no link in [20,40)).
+	ls := lengthsInstance(t, 5, 12, 45, 100)
+	set, _ := ls.DiversitySet()
+	want := []int{0, 1, 3, 4}
+	if len(set) != len(want) {
+		t.Fatalf("DiversitySet = %v, want %v", set, want)
+	}
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("DiversitySet = %v, want %v", set, want)
+		}
+	}
+	if g := ls.Diversity(); g != 4 {
+		t.Errorf("g(L) = %d, want 4", g)
+	}
+}
+
+func TestPaperRangeDiversityAtMostThree(t *testing.T) {
+	// The paper's [5,20] length range spans magnitudes 0..2, so g ≤ 3.
+	ls := lengthsInstance(t, 5, 7, 9, 10, 14, 19.5, 20)
+	if g := ls.Diversity(); g > 3 {
+		t.Errorf("g(L) = %d for [5,20] lengths, want ≤ 3", g)
+	}
+}
+
+func TestLengthClassesNested(t *testing.T) {
+	ls := lengthsInstance(t, 5, 12, 45, 100)
+	classes := ls.LengthClasses()
+	if len(classes) != 4 {
+		t.Fatalf("got %d classes, want 4", len(classes))
+	}
+	// Ceilings: 2^{h+1}·5 for h ∈ {0,1,3,4} → 10, 20, 80, 160.
+	wantCeil := []float64{10, 20, 80, 160}
+	wantSize := []int{1, 2, 3, 4} // nested growth
+	for k, c := range classes {
+		if math.Abs(c.Ceiling-wantCeil[k]) > 1e-9 {
+			t.Errorf("class %d ceiling = %v, want %v", k, c.Ceiling, wantCeil[k])
+		}
+		if len(c.Members) != wantSize[k] {
+			t.Errorf("class %d has %d members, want %d", k, len(c.Members), wantSize[k])
+		}
+		for _, i := range c.Members {
+			if ls.Length(i) >= c.Ceiling {
+				t.Errorf("class %d member %d length %v ≥ ceiling %v", k, i, ls.Length(i), c.Ceiling)
+			}
+		}
+	}
+	// Nesting: every member of class k appears in class k+1.
+	for k := 0; k+1 < len(classes); k++ {
+		next := map[int]bool{}
+		for _, i := range classes[k+1].Members {
+			next[i] = true
+		}
+		for _, i := range classes[k].Members {
+			if !next[i] {
+				t.Errorf("class %d member %d missing from class %d", k, i, k+1)
+			}
+		}
+	}
+}
+
+func TestBandedLengthClassesDisjointAndComplete(t *testing.T) {
+	ls := lengthsInstance(t, 5, 12, 45, 100, 6, 13)
+	classes := ls.BandedLengthClasses()
+	seen := map[int]int{}
+	total := 0
+	for k, c := range classes {
+		for _, i := range c.Members {
+			if prev, dup := seen[i]; dup {
+				t.Errorf("link %d in classes %d and %d", i, prev, k)
+			}
+			seen[i] = k
+			total++
+			l := ls.Length(i)
+			floor := c.Ceiling / 2
+			if l < floor || l >= c.Ceiling {
+				t.Errorf("link %d length %v outside band [%v,%v)", i, l, floor, c.Ceiling)
+			}
+		}
+	}
+	if total != ls.Len() {
+		t.Errorf("banded classes cover %d of %d links", total, ls.Len())
+	}
+}
+
+func TestEveryLinkInLastNestedClass(t *testing.T) {
+	ls := lengthsInstance(t, 5, 8, 17, 33, 64.5)
+	classes := ls.LengthClasses()
+	last := classes[len(classes)-1]
+	if len(last.Members) != ls.Len() {
+		t.Errorf("largest class has %d members, want all %d", len(last.Members), ls.Len())
+	}
+}

@@ -1,0 +1,60 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the instance decoder: arbitrary bytes must either
+// parse into a fully-validated LinkSet or return an error — never
+// panic, and never produce an instance that violates the invariants
+// NewLinkSet enforces.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid instance, near-misses, and junk.
+	valid, err := Generate(PaperConfig(5), 1, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"links":[]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1}]}`))
+	f.Add([]byte(`{"version":2,"links":[]}`))
+	f.Add([]byte(`{"version":1,"links":[{"rate":-1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":1e309,"Y":0},"receiver":{"X":1,"Y":0},"rate":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ls, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Anything accepted must satisfy the instance invariants.
+		for i := 0; i < ls.Len(); i++ {
+			if !(ls.Rate(i) > 0) {
+				t.Fatalf("accepted instance with rate %v", ls.Rate(i))
+			}
+			if !(ls.Length(i) > 0) {
+				t.Fatalf("accepted instance with length %v", ls.Length(i))
+			}
+		}
+		// Round trip: what we accepted must re-serialize and re-parse
+		// to the same instance.
+		var buf bytes.Buffer
+		if err := ls.Write(&buf); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != ls.Len() {
+			t.Fatalf("round trip changed size: %d → %d", ls.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// GenConfig describes a random deployment. The zero value is not
+// usable; start from PaperConfig or fill every field.
+type GenConfig struct {
+	// N is the number of links.
+	N int
+	// Region is the square side of the sender deployment area.
+	// The paper uses 500.
+	Region float64
+	// MinLinkLen and MaxLinkLen bound the sender→receiver distance,
+	// drawn length-uniform in [MinLinkLen, MaxLinkLen] in a uniform
+	// random direction. The paper uses [5, 20].
+	MinLinkLen, MaxLinkLen float64
+	// LogUniformLen switches the length draw to log-uniform, putting
+	// equal probability mass in every length octave. With a wide
+	// [MinLinkLen, MaxLinkLen] this controls the length diversity g(L)
+	// directly — the knob the O(g(L)) sensitivity ablation turns.
+	LogUniformLen bool
+	// Rate is the data rate assigned to every link when RateMax is 0;
+	// otherwise rates are drawn uniformly from [Rate, RateMax] — the
+	// heterogeneous-rate workload exercising LDP's weighted objective.
+	Rate    float64
+	RateMax float64
+	// Clusters, when positive, switches to the clustered deployment:
+	// senders are placed around Clusters Gaussian hot spots with the
+	// given ClusterSpread standard deviation (clamped into the region).
+	// Models the dense-cell scenario where accumulated interference is
+	// most punishing for graph-based and non-fading schedulers.
+	Clusters      int
+	ClusterSpread float64
+}
+
+// PaperConfig returns the deployment the paper's §V evaluation uses.
+func PaperConfig(n int) GenConfig {
+	return GenConfig{N: n, Region: 500, MinLinkLen: 5, MaxLinkLen: 20, Rate: 1}
+}
+
+// Validate checks the generator configuration.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("network: N = %d, need > 0", c.N)
+	case !(c.Region > 0):
+		return fmt.Errorf("network: region side %v, need > 0", c.Region)
+	case !(c.MinLinkLen > 0) || c.MaxLinkLen < c.MinLinkLen:
+		return fmt.Errorf("network: link length range [%v,%v] invalid", c.MinLinkLen, c.MaxLinkLen)
+	case !(c.Rate > 0):
+		return fmt.Errorf("network: rate %v, need > 0", c.Rate)
+	case c.RateMax != 0 && c.RateMax < c.Rate:
+		return fmt.Errorf("network: rate range [%v,%v] invalid", c.Rate, c.RateMax)
+	case c.Clusters < 0:
+		return fmt.Errorf("network: clusters = %d, need ≥ 0", c.Clusters)
+	case c.Clusters > 0 && !(c.ClusterSpread > 0):
+		return fmt.Errorf("network: clustered deployment needs ClusterSpread > 0")
+	}
+	return nil
+}
+
+// Generate draws a random instance from the configuration using the
+// stream (seed, "deploy", index); the same triple always reproduces the
+// same instance. Senders are placed in the region; receivers may fall
+// outside it (the paper places them "from its sender with a distance
+// randomly selected from [5,20] in a random direction", with no
+// clamping). Duplicate locations are re-drawn, matching the model's
+// distinct-endpoint assumption.
+func Generate(cfg GenConfig, seed uint64, index uint64) (*LinkSet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.Stream(seed, "deploy", index)
+	var centers []geom.Point
+	if cfg.Clusters > 0 {
+		centers = make([]geom.Point, cfg.Clusters)
+		for i := range centers {
+			centers[i] = geom.Point{
+				X: src.Float64() * cfg.Region,
+				Y: src.Float64() * cfg.Region,
+			}
+		}
+	}
+	links := make([]Link, 0, cfg.N)
+	usedS := make(map[geom.Point]bool, cfg.N)
+	usedR := make(map[geom.Point]bool, cfg.N)
+	for len(links) < cfg.N {
+		var s geom.Point
+		if centers == nil {
+			s = geom.Point{X: src.Float64() * cfg.Region, Y: src.Float64() * cfg.Region}
+		} else {
+			c := centers[src.IntN(len(centers))]
+			s = geom.Point{
+				X: clamp(c.X+src.Normal()*cfg.ClusterSpread, 0, cfg.Region),
+				Y: clamp(c.Y+src.Normal()*cfg.ClusterSpread, 0, cfg.Region),
+			}
+		}
+		var dx, dy float64
+		if cfg.LogUniformLen {
+			length := math.Exp(src.UniformRange(math.Log(cfg.MinLinkLen), math.Log(cfg.MaxLinkLen)))
+			dx, dy = src.InAnnulusLength(length, length)
+		} else {
+			dx, dy = src.InAnnulusLength(cfg.MinLinkLen, cfg.MaxLinkLen)
+		}
+		r := s.Add(dx, dy)
+		if usedS[s] || usedR[r] || s == r {
+			continue // re-draw collisions (probability ≈ 0 but must not panic)
+		}
+		rate := cfg.Rate
+		if cfg.RateMax > cfg.Rate {
+			rate = src.UniformRange(cfg.Rate, cfg.RateMax)
+		}
+		usedS[s], usedR[r] = true, true
+		links = append(links, Link{Sender: s, Receiver: r, Rate: rate})
+	}
+	return NewLinkSet(links)
+}
+
+// GenerateGrid builds the deterministic lattice workload: senders on a
+// k×k grid with the given spacing, every receiver at linkLen due east.
+// The regular geometry makes analytic spot checks easy and is used by
+// algorithm unit tests and the quickstart example.
+func GenerateGrid(k int, spacing, linkLen, rate float64) (*LinkSet, error) {
+	if k <= 0 || !(spacing > 0) || !(linkLen > 0) || !(rate > 0) {
+		return nil, fmt.Errorf("network: invalid grid workload (k=%d spacing=%v len=%v rate=%v)",
+			k, spacing, linkLen, rate)
+	}
+	links := make([]Link, 0, k*k)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			s := geom.Point{X: float64(a) * spacing, Y: float64(b) * spacing}
+			links = append(links, Link{
+				Sender:   s,
+				Receiver: s.Add(linkLen, 0),
+				Rate:     rate,
+			})
+		}
+	}
+	return NewLinkSet(links)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}

@@ -1,0 +1,258 @@
+package network
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGeneratePaperConfig(t *testing.T) {
+	cfg := PaperConfig(200)
+	ls, err := Generate(cfg, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 200 {
+		t.Fatalf("generated %d links, want 200", ls.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		l := ls.Link(i)
+		if l.Sender.X < 0 || l.Sender.X >= 500 || l.Sender.Y < 0 || l.Sender.Y >= 500 {
+			t.Errorf("sender %d outside region: %v", i, l.Sender)
+		}
+		d := ls.Length(i)
+		if d < 5-1e-9 || d > 20+1e-9 {
+			t.Errorf("link %d length %v outside [5,20]", i, d)
+		}
+		if l.Rate != 1 {
+			t.Errorf("link %d rate %v, want 1", i, l.Rate)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(PaperConfig(50), 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(PaperConfig(50), 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Link(i) != b.Link(i) {
+			t.Fatalf("instance not reproducible at link %d", i)
+		}
+	}
+	c, err := Generate(PaperConfig(50), 42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Link(0) == c.Link(0) {
+		t.Error("different instance index produced identical first link")
+	}
+}
+
+func TestGenerateHeterogeneousRates(t *testing.T) {
+	cfg := PaperConfig(100)
+	cfg.Rate, cfg.RateMax = 1, 8
+	ls, err := Generate(cfg, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.UniformRate() {
+		t.Error("heterogeneous config produced uniform rates")
+	}
+	var lo, hi bool
+	for i := 0; i < ls.Len(); i++ {
+		r := ls.Rate(i)
+		if r < 1 || r > 8 {
+			t.Fatalf("rate %v outside [1,8]", r)
+		}
+		lo = lo || r < 3
+		hi = hi || r > 6
+	}
+	if !lo || !hi {
+		t.Error("rates do not span the configured range")
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	cfg := PaperConfig(150)
+	cfg.Clusters, cfg.ClusterSpread = 3, 15
+	ls, err := Generate(cfg, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 150 {
+		t.Fatalf("got %d links", ls.Len())
+	}
+	// A clustered deployment must be visibly denser than uniform:
+	// mean nearest-sender distance well below the uniform expectation
+	// (≈ 0.5/sqrt(N/A) ≈ 20 for N=150 in 500²).
+	senders := ls.Senders()
+	var meanNN float64
+	for i, s := range senders {
+		best := math.Inf(1)
+		for j, o := range senders {
+			if i != j {
+				best = math.Min(best, s.Dist(o))
+			}
+		}
+		meanNN += best
+	}
+	meanNN /= float64(len(senders))
+	if meanNN > 15 {
+		t.Errorf("clustered mean nearest-neighbor distance %v looks uniform", meanNN)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		{N: 10},
+		{N: 10, Region: 500},
+		{N: 10, Region: 500, MinLinkLen: 5, MaxLinkLen: 4, Rate: 1},
+		{N: 10, Region: 500, MinLinkLen: 5, MaxLinkLen: 20},
+		{N: 10, Region: 500, MinLinkLen: 5, MaxLinkLen: 20, Rate: 1, RateMax: 0.5},
+		{N: 10, Region: 500, MinLinkLen: 5, MaxLinkLen: 20, Rate: 1, Clusters: -1},
+		{N: 10, Region: 500, MinLinkLen: 5, MaxLinkLen: 20, Rate: 1, Clusters: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1, 0); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateGrid(t *testing.T) {
+	ls, err := GenerateGrid(4, 100, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 16 {
+		t.Fatalf("grid has %d links, want 16", ls.Len())
+	}
+	for i := 0; i < ls.Len(); i++ {
+		if ls.Length(i) != 10 {
+			t.Errorf("grid link %d length %v", i, ls.Length(i))
+		}
+		if ls.Rate(i) != 2 {
+			t.Errorf("grid link %d rate %v", i, ls.Rate(i))
+		}
+	}
+	if ls.Diversity() != 1 {
+		t.Errorf("grid diversity = %d, want 1", ls.Diversity())
+	}
+}
+
+func TestGenerateGridValidation(t *testing.T) {
+	if _, err := GenerateGrid(0, 1, 1, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GenerateGrid(2, -1, 1, 1); err == nil {
+		t.Error("negative spacing accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := Generate(PaperConfig(30), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost links: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if orig.Link(i) != back.Link(i) {
+			t.Fatalf("link %d changed in round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version": 99, "links": []}`,
+		`{"version": 1, "links": [{"sender":{"X":0,"Y":0},"receiver":{"X":0,"Y":0},"rate":1}]}`,
+		`{"version": 1, "unknown_field": true, "links": []}`,
+	}
+	for i, in := range cases {
+		if _, err := Read(bytes.NewReader([]byte(in))); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func BenchmarkGenerate300(b *testing.B) {
+	cfg := PaperConfig(300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ls, err := Generate(cfg, 1, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ls.Len() != 300 {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+func TestGenerateLogUniformLengths(t *testing.T) {
+	cfg := PaperConfig(400)
+	cfg.MaxLinkLen = 5 * 64 // 6 octaves
+	cfg.LogUniformLen = true
+	ls, err := Generate(cfg, 13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every octave [5·2^k, 5·2^{k+1}) must carry roughly 1/6 of the
+	// links (±60% sampling slack at ~67/octave).
+	counts := make([]int, 6)
+	for i := 0; i < ls.Len(); i++ {
+		l := ls.Length(i)
+		if l < 5-1e-9 || l > 320+1e-9 {
+			t.Fatalf("length %v outside [5,320]", l)
+		}
+		oct := 0
+		for b := 10.0; l >= b && oct < 5; b *= 2 {
+			oct++
+		}
+		counts[oct]++
+	}
+	for k, c := range counts {
+		if c < 27 || c > 107 {
+			t.Errorf("octave %d has %d links, want ≈67 (log-uniform)", k, c)
+		}
+	}
+	if g := ls.Diversity(); g < 4 {
+		t.Errorf("g(L) = %d for a 6-octave instance", g)
+	}
+}
+
+func TestGenerateLogUniformDeterministic(t *testing.T) {
+	cfg := PaperConfig(30)
+	cfg.MaxLinkLen = 80
+	cfg.LogUniformLen = true
+	a, err := Generate(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Link(i) != b.Link(i) {
+			t.Fatal("log-uniform generation not reproducible")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the archival wire format: a format version plus the
+// raw links. Geometry caches are rebuilt on load.
+type instanceJSON struct {
+	Version int    `json:"version"`
+	Links   []Link `json:"links"`
+}
+
+const formatVersion = 1
+
+// Write serializes the instance as JSON.
+func (ls *LinkSet) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(instanceJSON{Version: formatVersion, Links: ls.links})
+}
+
+// Read parses an instance previously produced by Write, revalidating
+// the links (a hand-edited file goes through the same checks as a
+// generated one).
+func Read(r io.Reader) (*LinkSet, error) {
+	var in instanceJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("network: decoding instance: %w", err)
+	}
+	if in.Version != formatVersion {
+		return nil, fmt.Errorf("network: unsupported instance format version %d", in.Version)
+	}
+	return NewLinkSet(in.Links)
+}

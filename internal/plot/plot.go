@@ -1,0 +1,194 @@
+// Package plot renders experiment series as ASCII line charts so
+// cmd/experiments can show every figure's shape directly in the
+// terminal — the repository's equivalent of the paper's matplotlib
+// figures, dependency-free.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// markers assigns one rune per series, in series order.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart is a multi-series scatter/line chart over a shared x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plotting-area dimensions in cells;
+	// zero values default to 64×20.
+	Width, Height int
+}
+
+// Render draws the series. xs are the shared x positions; series maps
+// name → y values (same length as xs; NaN cells are skipped). Series
+// are drawn in the given order with one marker each; later series
+// overwrite earlier ones on collisions.
+func (c Chart) Render(w io.Writer, xs []float64, series map[string][]float64, order []string) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	if len(xs) == 0 || len(order) == 0 {
+		return fmt.Errorf("plot: nothing to draw")
+	}
+	for _, name := range order {
+		ys, ok := series[name]
+		if !ok {
+			return fmt.Errorf("plot: series %q missing", name)
+		}
+		if len(ys) != len(xs) {
+			return fmt.Errorf("plot: series %q has %d points for %d x values", name, len(ys), len(xs))
+		}
+	}
+
+	xMin, xMax := minMax(xs)
+	var all []float64
+	for _, name := range order {
+		for _, y := range series[name] {
+			if !math.IsNaN(y) {
+				all = append(all, y)
+			}
+		}
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("plot: all cells are NaN")
+	}
+	yMin, yMax := minMax(all)
+	if yMax == yMin {
+		yMax = yMin + 1 // flat series: give the axis some height
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		return clampInt(int(math.Round((x-xMin)/(xMax-xMin)*float64(width-1))), 0, width-1)
+	}
+	row := func(y float64) int {
+		// Row 0 is the top of the chart.
+		return clampInt(height-1-int(math.Round((y-yMin)/(yMax-yMin)*float64(height-1))), 0, height-1)
+	}
+	for si, name := range order {
+		mark := markers[si%len(markers)]
+		ys := series[name]
+		// Connect consecutive points with linear interpolation so
+		// trends read as lines, then stamp the markers on top.
+		prev := -1
+		for i, y := range ys {
+			if math.IsNaN(y) {
+				prev = -1
+				continue
+			}
+			if prev >= 0 && !math.IsNaN(ys[prev]) {
+				drawSegment(grid, col(xs[prev]), row(ys[prev]), col(xs[i]), row(y), '·')
+			}
+			prev = i
+		}
+		for i, y := range ys {
+			if !math.IsNaN(y) {
+				grid[row(y)][col(xs[i])] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := fmt.Sprintf("%.4g", yMin), fmt.Sprintf("%.4g", yMax)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", pad)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", pad, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", pad), width/2, xMin, width-width/2, xMax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), c.XLabel, c.YLabel)
+	}
+	// Legend in series order.
+	for si, name := range order {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", pad), markers[si%len(markers)], name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// drawSegment stamps a straight rune segment between two grid cells
+// (simple DDA; endpoints excluded so markers stay visible).
+func drawSegment(grid [][]rune, c0, r0, c1, r1 int, ch rune) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for s := 1; s < steps; s++ {
+		c := c0 + (c1-c0)*s/steps
+		r := r0 + (r1-r0)*s/steps
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortedSeriesNames returns map keys sorted, for callers without an
+// explicit order.
+func SortedSeriesNames(series map[string][]float64) []string {
+	out := make([]string, 0, len(series))
+	for k := range series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

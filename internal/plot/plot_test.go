@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c Chart, xs []float64, series map[string][]float64, order []string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Render(&b, xs, series, order); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderBasicStructure(t *testing.T) {
+	out := render(t, Chart{Title: "demo", XLabel: "n", YLabel: "v", Width: 40, Height: 10},
+		[]float64{1, 2, 3},
+		map[string][]float64{"a": {1, 2, 3}, "b": {3, 2, 1}},
+		[]string{"a", "b"})
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series markers missing")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "x: n   y: v") {
+		t.Error("axis labels missing")
+	}
+	// Plot area: Height rows with the | margin.
+	if rows := strings.Count(out, "|"); rows != 10 {
+		t.Errorf("found %d plot rows, want 10", rows)
+	}
+}
+
+func TestRenderMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must place its marker for the max at a row
+	// ABOVE (earlier line) than its min.
+	out := render(t, Chart{Width: 30, Height: 8},
+		[]float64{0, 10},
+		map[string][]float64{"up": {0, 100}},
+		[]string{"up"})
+	lines := strings.Split(out, "\n")
+	first, last := -1, -1
+	for i, l := range lines {
+		if strings.ContainsRune(l, '*') {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		t.Fatal("no markers drawn")
+	}
+	// First (top) marker must be the high value: top line's marker
+	// column should be at the right edge region.
+	top := lines[first]
+	if strings.IndexRune(top, '*') < len(top)/2 {
+		t.Errorf("max of increasing series not in the right half: %q", top)
+	}
+	if first == last {
+		t.Error("both points landed on one row for a 0→100 series")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	out := render(t, Chart{Width: 20, Height: 5},
+		[]float64{1, 2, 3},
+		map[string][]float64{"flat": {7, 7, 7}},
+		[]string{"flat"})
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	out := render(t, Chart{Width: 20, Height: 5},
+		[]float64{1, 2, 3},
+		map[string][]float64{"gappy": {1, math.NaN(), 3}},
+		[]string{"gappy"})
+	// Count markers in the plot area only (rows carrying the | margin);
+	// the legend contributes one more '*' outside it.
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			n += strings.Count(line, "*")
+		}
+	}
+	if n != 2 {
+		t.Errorf("drew %d markers, want 2 (NaN skipped)", n)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var b strings.Builder
+	c := Chart{}
+	if err := c.Render(&b, nil, map[string][]float64{}, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := c.Render(&b, []float64{1}, map[string][]float64{"a": {1, 2}}, []string{"a"}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := c.Render(&b, []float64{1}, map[string][]float64{}, []string{"missing"}); err == nil {
+		t.Error("missing series accepted")
+	}
+	if err := c.Render(&b, []float64{1}, map[string][]float64{"a": {math.NaN()}}, []string{"a"}); err == nil {
+		t.Error("all-NaN series accepted")
+	}
+}
+
+func TestRenderSingleFlatPointDoesNotPanic(t *testing.T) {
+	out := render(t, Chart{Width: 10, Height: 4},
+		[]float64{5},
+		map[string][]float64{"dot": {2}},
+		[]string{"dot"})
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestSortedSeriesNames(t *testing.T) {
+	got := SortedSeriesNames(map[string][]float64{"b": nil, "a": nil, "c": nil})
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

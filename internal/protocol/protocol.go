@@ -1,0 +1,156 @@
+// Package protocol is a synchronous message-passing simulator: nodes
+// execute lockstep rounds concurrently (one goroutine per node per
+// round), messages emitted in round r are delivered — subject to a
+// topology filter modeling radio range — at round r+1.
+//
+// It exists to host honestly-distributed protocol implementations
+// (package dlsproto builds the decentralized scheduler on it): a node
+// sees only its own state and its inbox, and the engine enforces that
+// messages travel only between topology-connected nodes. Determinism
+// is preserved under full concurrency by gathering each round's
+// outputs in node order.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Broadcast as a Message.To delivers to every node the topology
+// connects to the sender.
+const Broadcast = -1
+
+// Message is one unit of communication.
+type Message struct {
+	From, To int
+	// Payload is protocol-defined; implementations type-switch on it.
+	Payload any
+}
+
+// Node is one protocol participant. Step is called once per round with
+// the messages delivered this round; it returns outgoing messages and
+// whether the node has halted (halted nodes are not stepped again and
+// emit nothing).
+//
+// Step must be deterministic (seed any randomness at construction) and
+// must not touch other nodes' state — the engine runs Steps
+// concurrently.
+type Node interface {
+	Step(round int, inbox []Message) (out []Message, halted bool)
+}
+
+// Topology reports whether a message from node a reaches node b.
+// A nil topology connects everyone.
+type Topology func(a, b int) bool
+
+// Engine drives a set of nodes.
+type Engine struct {
+	nodes     []Node
+	topo      Topology
+	halted    []bool
+	inboxes   [][]Message
+	delivered int64
+	dropped   int64
+}
+
+// NewEngine builds an engine over the nodes with an optional topology.
+func NewEngine(nodes []Node, topo Topology) *Engine {
+	return &Engine{
+		nodes:   nodes,
+		topo:    topo,
+		halted:  make([]bool, len(nodes)),
+		inboxes: make([][]Message, len(nodes)),
+	}
+}
+
+// Delivered and Dropped return message-traffic counters (dropped =
+// filtered by topology or addressed to a halted/unknown node).
+func (e *Engine) Delivered() int64 { return e.delivered }
+func (e *Engine) Dropped() int64   { return e.dropped }
+
+// Halted reports whether node i has halted.
+func (e *Engine) Halted(i int) bool { return e.halted[i] }
+
+// AllHalted reports global termination.
+func (e *Engine) AllHalted() bool {
+	for _, h := range e.halted {
+		if !h {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes up to maxRounds rounds, stopping early when every node
+// has halted. It returns the number of rounds executed.
+func (e *Engine) Run(maxRounds int) (int, error) {
+	if maxRounds < 0 {
+		return 0, fmt.Errorf("protocol: negative round budget %d", maxRounds)
+	}
+	for round := 0; round < maxRounds; round++ {
+		if e.AllHalted() {
+			return round, nil
+		}
+		outs := make([][]Message, len(e.nodes))
+		var wg sync.WaitGroup
+		for i, n := range e.nodes {
+			if e.halted[i] {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, n Node) {
+				defer wg.Done()
+				inbox := e.inboxes[i]
+				out, halted := n.Step(round, inbox)
+				outs[i] = out
+				if halted {
+					e.halted[i] = true // exclusive: one writer per index
+				}
+			}(i, n)
+		}
+		wg.Wait()
+		// Route: clear inboxes, then deliver in deterministic
+		// (sender, emission) order.
+		for i := range e.inboxes {
+			e.inboxes[i] = nil
+		}
+		for from := range outs {
+			for _, m := range outs[from] {
+				m.From = from // the engine stamps provenance; nodes cannot forge it
+				e.route(m)
+			}
+		}
+	}
+	return maxRounds, nil
+}
+
+func (e *Engine) route(m Message) {
+	deliver := func(to int) {
+		if to < 0 || to >= len(e.nodes) || e.halted[to] || to == m.From {
+			e.dropped++
+			return
+		}
+		if e.topo != nil && !e.topo(m.From, to) {
+			e.dropped++
+			return
+		}
+		e.inboxes[to] = append(e.inboxes[to], m)
+		e.delivered++
+	}
+	if m.To == Broadcast {
+		for to := range e.nodes {
+			if to != m.From {
+				deliver(to)
+			}
+		}
+		return
+	}
+	deliver(m.To)
+}
+
+// SortInbox orders messages by sender id — a convenience for nodes
+// whose logic must be independent of delivery order.
+func SortInbox(inbox []Message) {
+	sort.SliceStable(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+}

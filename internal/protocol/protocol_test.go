@@ -1,0 +1,195 @@
+package protocol
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// counter halts after receiving `need` distinct pings, pinging its
+// right neighbor each round.
+type counter struct {
+	id, n, need int
+	got         map[int]bool
+}
+
+func (c *counter) Step(round int, inbox []Message) ([]Message, bool) {
+	if c.got == nil {
+		c.got = map[int]bool{}
+	}
+	for _, m := range inbox {
+		c.got[m.From] = true
+	}
+	out := []Message{{To: (c.id + 1) % c.n, Payload: "ping"}}
+	return out, len(c.got) >= c.need
+}
+
+func TestRingTermination(t *testing.T) {
+	const n = 8
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &counter{id: i, n: n, need: 1}
+	}
+	e := NewEngine(nodes, nil)
+	rounds, err := e.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.AllHalted() {
+		t.Fatal("ring did not terminate")
+	}
+	// Each node needs one ping from its left neighbor: halts at round 1
+	// (after the first delivery), engine detects at round 2.
+	if rounds > 3 {
+		t.Errorf("termination took %d rounds, want ≤3", rounds)
+	}
+	if e.Delivered() == 0 {
+		t.Error("no messages delivered")
+	}
+}
+
+func TestTopologyFilter(t *testing.T) {
+	const n = 4
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &counter{id: i, n: n, need: 1}
+	}
+	// Disconnect everything: nobody ever receives, nobody halts.
+	e := NewEngine(nodes, func(a, b int) bool { return false })
+	rounds, err := e.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 {
+		t.Errorf("ran %d rounds, want the full 5", rounds)
+	}
+	if e.AllHalted() {
+		t.Error("nodes halted without connectivity")
+	}
+	if e.Delivered() != 0 {
+		t.Errorf("delivered %d messages through a null topology", e.Delivered())
+	}
+	if e.Dropped() == 0 {
+		t.Error("drops not counted")
+	}
+}
+
+// broadcaster sends one broadcast then waits for k replies.
+type broadcaster struct {
+	sent    bool
+	replies int
+	want    int
+}
+
+func (b *broadcaster) Step(round int, inbox []Message) ([]Message, bool) {
+	b.replies += len(inbox)
+	if !b.sent {
+		b.sent = true
+		return []Message{{To: Broadcast, Payload: "hello"}}, false
+	}
+	return nil, b.replies >= b.want
+}
+
+// replier answers every message once.
+type replier struct{}
+
+func (replier) Step(round int, inbox []Message) ([]Message, bool) {
+	var out []Message
+	for _, m := range inbox {
+		out = append(out, Message{To: m.From, Payload: "ack"})
+	}
+	return out, false
+}
+
+func TestBroadcastAndReplies(t *testing.T) {
+	nodes := []Node{&broadcaster{want: 3}, replier{}, replier{}, replier{}}
+	e := NewEngine(nodes, nil)
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Halted(0) {
+		t.Error("broadcaster never collected its 3 acks")
+	}
+	b := nodes[0].(*broadcaster)
+	if b.replies != 3 {
+		t.Errorf("broadcaster got %d replies, want 3", b.replies)
+	}
+}
+
+func TestHaltedNodesReceiveNothing(t *testing.T) {
+	// Node 0 halts immediately; node 1 keeps sending to it. All those
+	// sends must count as drops.
+	quit := &counter{id: 0, n: 2, need: 0} // need 0 ⇒ halts on first step
+	spam := &counter{id: 1, n: 2, need: 99}
+	e := NewEngine([]Node{quit, spam}, nil)
+	if _, err := e.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Halted(0) {
+		t.Fatal("need-0 node did not halt")
+	}
+	if e.Dropped() == 0 {
+		t.Error("sends to a halted node were not dropped")
+	}
+}
+
+func TestEngineStampsProvenance(t *testing.T) {
+	// A node forging From must be corrected by the engine.
+	forger := stepFunc(func(round int, inbox []Message) ([]Message, bool) {
+		return []Message{{From: 99, To: 1, Payload: "forged"}}, true
+	})
+	var seen atomic.Int64
+	sink := stepFunc(func(round int, inbox []Message) ([]Message, bool) {
+		for _, m := range inbox {
+			seen.Store(int64(m.From))
+		}
+		return nil, len(inbox) > 0
+	})
+	e := NewEngine([]Node{forger, sink}, nil)
+	if _, err := e.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != 0 {
+		t.Errorf("delivered From = %d, want engine-stamped 0", got)
+	}
+}
+
+type stepFunc func(round int, inbox []Message) ([]Message, bool)
+
+func (f stepFunc) Step(round int, inbox []Message) ([]Message, bool) { return f(round, inbox) }
+
+func TestRunNegativeBudget(t *testing.T) {
+	e := NewEngine(nil, nil)
+	if _, err := e.Run(-1); err == nil {
+		t.Error("negative round budget accepted")
+	}
+}
+
+func TestSortInbox(t *testing.T) {
+	inbox := []Message{{From: 3}, {From: 1}, {From: 2}, {From: 1}}
+	SortInbox(inbox)
+	want := []int{1, 1, 2, 3}
+	for i, m := range inbox {
+		if m.From != want[i] {
+			t.Fatalf("order %v wrong at %d", inbox, i)
+		}
+	}
+}
+
+func TestDeterministicUnderConcurrency(t *testing.T) {
+	// 64 nodes broadcasting and counting: the totals must be identical
+	// across runs despite goroutine scheduling.
+	build := func() *Engine {
+		nodes := make([]Node, 64)
+		for i := range nodes {
+			nodes[i] = &counter{id: i, n: 64, need: 40}
+		}
+		return NewEngine(nodes, func(a, b int) bool { return (a+b)%3 != 0 })
+	}
+	e1, e2 := build(), build()
+	r1, _ := e1.Run(50)
+	r2, _ := e2.Run(50)
+	if r1 != r2 || e1.Delivered() != e2.Delivered() || e1.Dropped() != e2.Dropped() {
+		t.Errorf("nondeterministic engine: rounds %d/%d delivered %d/%d dropped %d/%d",
+			r1, r2, e1.Delivered(), e2.Delivered(), e1.Dropped(), e2.Dropped())
+	}
+}

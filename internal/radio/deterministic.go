@@ -1,0 +1,46 @@
+package radio
+
+// The deterministic ("physical"/SINR) model of [14,15]: the received
+// power over distance d is exactly P·d^{−α}. A transmission succeeds
+// iff
+//
+//	P·d_jj^{−α} / (N0 + Σ_i P·d_ij^{−α}) ≥ γ_th.
+//
+// With N0 = 0 this is equivalent to the unit budget
+//
+//	Σ_i γ_th·(d_jj/d_ij)^α ≤ 1,
+//
+// whose per-interferer term we call the relative gain (the
+// deterministic analogue of the fading interference factor). The
+// baseline algorithms budget against it.
+
+import "repro/internal/mathx"
+
+// RelativeGain returns γ_th·(d_jj/d_ij)^α, the deterministic-model
+// interference contribution of one sender, normalized so that the
+// deterministic SINR condition reads Σ RelativeGain ≤ 1.
+func (p Params) RelativeGain(dij, djj float64) float64 {
+	return p.GammaTh * mathx.RelativeGain(dij, djj, p.Alpha)
+}
+
+// DeterministicSINR returns the non-fading SINR of a link of length djj
+// against interferer distances dijs, including noise if N0 > 0.
+func (p Params) DeterministicSINR(djj float64, dijs []float64) float64 {
+	var interf mathx.Accumulator
+	interf.Add(p.N0)
+	for _, dij := range dijs {
+		interf.Add(p.MeanGain(dij))
+	}
+	den := interf.Sum()
+	sig := p.MeanGain(djj)
+	if den == 0 {
+		return inf()
+	}
+	return sig / den
+}
+
+// DeterministicSuccess reports whether the non-fading model would
+// declare the transmission successful (SINR ≥ γ_th).
+func (p Params) DeterministicSuccess(djj float64, dijs []float64) bool {
+	return p.DeterministicSINR(djj, dijs) >= p.GammaTh
+}

@@ -1,0 +1,40 @@
+package radio
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+// DrawGain samples one instantaneous received power Z ~ Exp(mean
+// P·d^{−α}) for a transmission over distance d (paper Eq. 5).
+func (p Params) DrawGain(src *rng.Source, d float64) float64 {
+	return src.Exp(p.MeanGain(d))
+}
+
+// SlotSINR draws one fading realization for a receiver with link length
+// djj and interferer distances dijs, and returns the realized SINR
+// X = Z_jj / (N0 + Σ Z_ij). With no interferers and no noise the SINR
+// is +Inf (guaranteed success), matching the model limit.
+//
+// Each call consumes exactly 1+len(dijs) exponential draws from src, in
+// argument order, so Monte-Carlo streams remain alignment-stable.
+func (p Params) SlotSINR(src *rng.Source, djj float64, dijs []float64) float64 {
+	signal := p.DrawGain(src, djj)
+	den := p.N0
+	for _, dij := range dijs {
+		den += p.DrawGain(src, dij)
+	}
+	if den == 0 {
+		return inf()
+	}
+	return signal / den
+}
+
+// SlotSuccess draws one fading realization and reports whether the
+// transmission decodes (X ≥ γ_th).
+func (p Params) SlotSuccess(src *rng.Source, djj float64, dijs []float64) bool {
+	return p.SlotSINR(src, djj, dijs) >= p.GammaTh
+}

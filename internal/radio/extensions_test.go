@@ -1,0 +1,125 @@
+package radio
+
+// Tests for the channel-model extensions: the noise term in the
+// success-probability closed form and heterogeneous transmit powers.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNoiseFactorZeroAndFormula(t *testing.T) {
+	p := DefaultParams()
+	if p.NoiseFactor(10) != 0 {
+		t.Error("noise factor nonzero with N0=0")
+	}
+	p.N0 = 1e-4
+	p.GammaTh = 2
+	p.Power = 0.5
+	// γ·N0/(P·d^{−α}) = 2·1e-4·d³/0.5.
+	want := 2 * 1e-4 * 1000 / 0.5
+	if got := p.NoiseFactor(10); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("NoiseFactor = %v, want %v", got, want)
+	}
+	// Per-power variant.
+	if got := p.NoiseFactorP(2, 10); math.Abs(got-2*1e-4*1000/2) > 1e-12 {
+		t.Errorf("NoiseFactorP = %v", got)
+	}
+}
+
+func TestSuccessProbabilityNoiseMonotone(t *testing.T) {
+	p := DefaultParams()
+	dijs := []float64{50, 80}
+	clean := p.SuccessProbability(10, dijs)
+	p.N0 = 1e-5
+	noisy := p.SuccessProbability(10, dijs)
+	if noisy >= clean {
+		t.Errorf("noise did not reduce success probability: %v vs %v", noisy, clean)
+	}
+	// Lone-link outage equals e^{−γ·N0·d^α/P} exactly.
+	want := math.Exp(-p.GammaTh * p.N0 * math.Pow(10, p.Alpha) / p.Power)
+	if got := p.SuccessProbability(10, nil); math.Abs(got-want) > 1e-15 {
+		t.Errorf("lone noisy link success = %v, want %v", got, want)
+	}
+}
+
+// TestNoiseClosedFormMonteCarlo validates the noise extension of
+// Theorem 3.1 against simulation: Pr(Z/(N0+I) ≥ γ) must equal
+// e^{−γN0/(Pd^{−α})}·Π(1+γ(d/d_i)^α)^{−1}.
+func TestNoiseClosedFormMonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	p := DefaultParams()
+	p.N0 = 3e-5
+	djj := 10.0
+	dijs := []float64{35, 60}
+	want := p.SuccessProbability(djj, dijs)
+	src := rng.Stream(77, "noise-mc", 0)
+	const trials = 150000
+	succ := 0
+	for i := 0; i < trials; i++ {
+		if p.SlotSuccess(src, djj, dijs) {
+			succ++
+		}
+	}
+	got := float64(succ) / trials
+	tol := 5 * math.Sqrt(want*(1-want)/trials)
+	if math.Abs(got-want) > tol {
+		t.Errorf("noisy channel: empirical %v vs closed form %v (tol %v)", got, want, tol)
+	}
+}
+
+func TestInterferenceFactorPReducesToUniform(t *testing.T) {
+	p := DefaultParams()
+	for _, d := range []float64{12, 40, 300} {
+		uni := p.InterferenceFactor(d, 10)
+		het := p.InterferenceFactorP(p.Power, d, p.Power, 10)
+		if math.Abs(uni-het) > 1e-15 {
+			t.Errorf("d=%v: uniform %v vs equal-power heterogeneous %v", d, uni, het)
+		}
+	}
+}
+
+func TestInterferenceFactorPPowerScaling(t *testing.T) {
+	p := DefaultParams()
+	base := p.InterferenceFactorP(1, 100, 1, 10)
+	strong := p.InterferenceFactorP(5, 100, 1, 10)
+	weakRx := p.InterferenceFactorP(1, 100, 5, 10)
+	if strong <= base {
+		t.Error("stronger interferer did not raise the factor")
+	}
+	if weakRx >= base {
+		t.Error("stronger desired sender did not lower the factor")
+	}
+	// Small-factor regime: factor ≈ linear in the power ratio.
+	if ratio := strong / base; math.Abs(ratio-5) > 0.02 {
+		t.Errorf("factor ratio %v, want ≈5 in the linear regime", ratio)
+	}
+	if p.InterferenceFactorP(1, 0, 1, 10) != math.Inf(1) {
+		t.Error("co-located heterogeneous interferer must yield +Inf")
+	}
+}
+
+func TestEffectivePower(t *testing.T) {
+	p := DefaultParams()
+	p.Power = 2.5
+	if got := p.EffectivePower(0); got != 2.5 {
+		t.Errorf("EffectivePower(0) = %v, want default 2.5", got)
+	}
+	if got := p.EffectivePower(7); got != 7 {
+		t.Errorf("EffectivePower(7) = %v", got)
+	}
+}
+
+func TestMeanGainP(t *testing.T) {
+	p := DefaultParams()
+	if got, want := p.MeanGainP(4, 10), 4e-3; math.Abs(got-want) > 1e-15 {
+		t.Errorf("MeanGainP = %v, want %v", got, want)
+	}
+	if p.MeanGainP(4, 0) != 0 {
+		t.Error("MeanGainP at zero distance must be 0")
+	}
+}

@@ -1,0 +1,84 @@
+package radio
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// InterferenceFactor returns f_ij = ln(1 + γ_th·(d_jj/d_ij)^α), the
+// Corollary 3.1 interference factor of a sender at distance dij from a
+// receiver whose own link length is djj. A zero or negative dij yields
+// +Inf (co-located interferer always kills the link).
+func (p Params) InterferenceFactor(dij, djj float64) float64 {
+	return mathx.InterferenceFactor(dij, djj, p.GammaTh, p.Alpha)
+}
+
+// SuccessProbability evaluates the Theorem 3.1 closed form
+//
+//	Pr(X_j ≥ γ_th) = e^{−γ_th·N0/(P·d_jj^{−α})} · Π_i 1/(1 + γ_th·(d_jj/d_ij)^α)
+//
+// for a receiver with link length djj and interferer distances dijs.
+// The noise factor extends the paper's zero-noise derivation: with
+// X = Z/(N0+I) and ν = γ_th/(P·d_jj^{−α}), Pr(X ≥ γ_th) =
+// E[e^{−ν(N0+I)}] = e^{−ν·N0}·L_I(ν), so noise contributes a fixed
+// multiplicative outage term; with the paper's N0 = 0 it vanishes.
+//
+// It is computed as exp(−(noise + Σ f_ij)) with compensated summation,
+// which is both faster and more accurate than the literal product when
+// many factors are close to 1.
+func (p Params) SuccessProbability(djj float64, dijs []float64) float64 {
+	var sum mathx.Accumulator
+	sum.Add(p.NoiseFactor(djj))
+	for _, dij := range dijs {
+		sum.Add(p.InterferenceFactor(dij, djj))
+	}
+	return math.Exp(-sum.Sum())
+}
+
+// NoiseFactor returns the additive noise term γ_th·N0·d_jj^α/P that
+// joins the interference-factor sum in the noise-aware feasibility
+// condition
+//
+//	NoiseFactor + Σ f_ij ≤ γ_ε.
+//
+// Zero when N0 = 0 (the paper's setting).
+func (p Params) NoiseFactor(djj float64) float64 {
+	return p.NoiseFactorP(p.Power, djj)
+}
+
+// NoiseFactorP is NoiseFactor for a link with its own transmit power.
+func (p Params) NoiseFactorP(power, djj float64) float64 {
+	if p.N0 == 0 {
+		return 0
+	}
+	return p.GammaTh * p.N0 / p.MeanGainP(power, djj)
+}
+
+// InterferenceFactorP generalizes InterferenceFactor to heterogeneous
+// transmit powers: an interferer with power pi at distance dij from a
+// receiver whose desired sender uses power pj over length djj has
+//
+//	f = ln(1 + γ_th · (pi·d_ij^{−α})/(pj·d_jj^{−α})).
+//
+// With pi == pj it reduces to the paper's uniform-power factor.
+func (p Params) InterferenceFactorP(pi, dij, pj, djj float64) float64 {
+	if dij <= 0 {
+		return math.Inf(1)
+	}
+	return math.Log1p(p.GammaTh * (pi / pj) * mathx.RelativeGain(dij, djj, p.Alpha))
+}
+
+// Informed reports whether a receiver with the given total interference
+// factor satisfies the Corollary 3.1 feasibility condition
+// Σ f_ij ≤ γ_ε, i.e. succeeds with probability at least 1−ε.
+func (p Params) Informed(totalFactor float64) bool {
+	return totalFactor <= p.GammaEps()+feasibilitySlack
+}
+
+// feasibilitySlack absorbs floating-point rounding in long factor sums
+// so that schedules sitting exactly on the analytic budget (as LDP's
+// worst-case construction does) are not rejected by one ulp.
+const feasibilitySlack = 1e-12

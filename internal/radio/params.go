@@ -1,0 +1,92 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mathx"
+)
+
+// Params bundles the physical-layer constants of the system model.
+type Params struct {
+	// Alpha is the path-loss exponent α. The paper assumes α > 2; the
+	// algorithm constants involve ζ(α−1), which diverges at α = 2, so
+	// Validate enforces α ≥ 2.05.
+	Alpha float64
+	// GammaTh is the decoding threshold γ_th (> 0). Paper evaluation: 1.
+	GammaTh float64
+	// Eps is the acceptable transmission error probability ε ∈ (0,1).
+	// Paper evaluation: 0.01.
+	Eps float64
+	// Power is the (uniform) transmit power P (> 0). The feasibility
+	// condition is power-invariant because noise is ignored, but the
+	// Monte-Carlo draws scale with it.
+	Power float64
+	// N0 is the ambient noise power. Zero (the paper's choice) unless a
+	// caller wants to measure the noise sensitivity.
+	N0 float64
+}
+
+// DefaultParams returns the paper's evaluation settings
+// (α = 3, γ_th = 1, ε = 0.01, P = 1, no noise).
+func DefaultParams() Params {
+	return Params{Alpha: 3, GammaTh: 1, Eps: 0.01, Power: 1}
+}
+
+// Validate checks the parameter domain. Every constructor in the
+// scheduler calls it so an invalid model cannot silently produce
+// garbage constants.
+func (p Params) Validate() error {
+	var errs []error
+	if !(p.Alpha >= 2.05) {
+		errs = append(errs, fmt.Errorf("alpha = %v, need α ≥ 2.05 (paper assumes α > 2; ζ(α−1) diverges at 2)", p.Alpha))
+	}
+	if !(p.GammaTh > 0) {
+		errs = append(errs, fmt.Errorf("gammaTh = %v, need > 0", p.GammaTh))
+	}
+	if !(p.Eps > 0 && p.Eps < 1) {
+		errs = append(errs, fmt.Errorf("eps = %v, need 0 < ε < 1", p.Eps))
+	}
+	if !(p.Power > 0) {
+		errs = append(errs, fmt.Errorf("power = %v, need > 0", p.Power))
+	}
+	if p.N0 < 0 {
+		errs = append(errs, fmt.Errorf("n0 = %v, need ≥ 0", p.N0))
+	}
+	return errors.Join(errs...)
+}
+
+// GammaEps returns the feasibility budget γ_ε = ln(1/(1−ε)) of
+// Corollary 3.1.
+func (p Params) GammaEps() float64 {
+	return mathx.GammaEps(p.Eps)
+}
+
+// MeanGain returns the expected received power P·d^{−α} over a distance
+// d — the mean of the exponential fading distribution (Eq. 4) and the
+// exact received power of the deterministic model.
+func (p Params) MeanGain(d float64) float64 {
+	return p.MeanGainP(p.Power, d)
+}
+
+// MeanGainP is MeanGain for an explicit transmit power.
+func (p Params) MeanGainP(power, d float64) float64 {
+	if d <= 0 {
+		return 0 // degenerate geometry; callers validate link lengths
+	}
+	return power * powNeg(d, p.Alpha)
+}
+
+// EffectivePower resolves a per-link power override (0 = default).
+func (p Params) EffectivePower(override float64) float64 {
+	if override > 0 {
+		return override
+	}
+	return p.Power
+}
+
+func powNeg(d, alpha float64) float64 {
+	// d^{−α} via the standard library; isolated so the exponent
+	// convention is written once.
+	return 1 / pow(d, alpha)
+}

@@ -1,0 +1,260 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadDomains(t *testing.T) {
+	bad := []Params{
+		{Alpha: 2, GammaTh: 1, Eps: 0.01, Power: 1}, // α too small
+		{Alpha: 3, GammaTh: 0, Eps: 0.01, Power: 1}, // γ_th
+		{Alpha: 3, GammaTh: 1, Eps: 0, Power: 1},    // ε = 0
+		{Alpha: 3, GammaTh: 1, Eps: 1, Power: 1},    // ε = 1
+		{Alpha: 3, GammaTh: 1, Eps: 0.01, Power: 0}, // power
+		{Alpha: 3, GammaTh: 1, Eps: 0.01, Power: 1, N0: -1},
+		{Alpha: math.NaN(), GammaTh: 1, Eps: 0.01, Power: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+func TestMeanGain(t *testing.T) {
+	p := Params{Alpha: 3, GammaTh: 1, Eps: 0.01, Power: 2}
+	if got, want := p.MeanGain(10), 2*math.Pow(10, -3); math.Abs(got-want) > 1e-18 {
+		t.Errorf("MeanGain(10) = %v, want %v", got, want)
+	}
+	if got := p.MeanGain(0); got != 0 {
+		t.Errorf("MeanGain(0) = %v, want 0", got)
+	}
+}
+
+// TestSuccessProbabilityMatchesProduct cross-checks the exp(−Σ f)
+// implementation against the literal Theorem 3.1 product.
+func TestSuccessProbabilityMatchesProduct(t *testing.T) {
+	p := DefaultParams()
+	djj := 12.0
+	dijs := []float64{30, 55, 120, 400, 18}
+	prod := 1.0
+	for _, dij := range dijs {
+		prod *= 1 / (1 + p.GammaTh*math.Pow(djj/dij, p.Alpha))
+	}
+	got := p.SuccessProbability(djj, dijs)
+	if math.Abs(got-prod) > 1e-14 {
+		t.Errorf("SuccessProbability = %.16g, product form = %.16g", got, prod)
+	}
+}
+
+func TestSuccessProbabilityNoInterferers(t *testing.T) {
+	p := DefaultParams()
+	if got := p.SuccessProbability(10, nil); got != 1 {
+		t.Errorf("lone link success probability = %v, want 1", got)
+	}
+}
+
+// TestTheorem31MonteCarlo is the central model-validation test: the
+// closed-form success probability must match the empirical frequency of
+// SINR ≥ γ_th over independent Rayleigh draws. This validates both the
+// analytic derivation (Laplace transform of the exponential sum) and
+// the slot simulator against each other.
+func TestTheorem31MonteCarlo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo validation skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		p    Params
+		djj  float64
+		dijs []float64
+	}{
+		{"one close interferer", DefaultParams(), 10, []float64{25}},
+		{"several mixed", DefaultParams(), 15, []float64{30, 60, 45, 200}},
+		{"alpha 4", Params{Alpha: 4, GammaTh: 1, Eps: 0.01, Power: 1}, 8, []float64{20, 35}},
+		{"high threshold", Params{Alpha: 3, GammaTh: 3, Eps: 0.01, Power: 1}, 10, []float64{50, 80}},
+		{"dense", DefaultParams(), 20, []float64{28, 33, 47, 52, 61, 75, 90}},
+	}
+	const trials = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.p.SuccessProbability(tc.djj, tc.dijs)
+			src := rng.Stream(2024, "thm31-"+tc.name, 0)
+			succ := 0
+			for i := 0; i < trials; i++ {
+				if tc.p.SlotSuccess(src, tc.djj, tc.dijs) {
+					succ++
+				}
+			}
+			got := float64(succ) / trials
+			// 4σ binomial tolerance.
+			tol := 4 * math.Sqrt(want*(1-want)/trials)
+			if math.Abs(got-want) > tol+1e-9 {
+				t.Errorf("empirical %v vs closed form %v (tol %v)", got, want, tol)
+			}
+		})
+	}
+}
+
+func TestInformedThreshold(t *testing.T) {
+	p := DefaultParams()
+	ge := p.GammaEps()
+	if !p.Informed(ge) {
+		t.Error("budget exactly γ_ε must be informed")
+	}
+	if !p.Informed(0) {
+		t.Error("zero interference must be informed")
+	}
+	if p.Informed(ge * 1.0001) {
+		t.Error("budget above γ_ε must not be informed")
+	}
+}
+
+// TestInformedEquivalence checks the Corollary 3.1 equivalence:
+// Informed(Σf) ⟺ SuccessProbability ≥ 1−ε, away from the knife edge.
+func TestInformedEquivalence(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rng.Stream(seed, "informed-eq", 0)
+		p := DefaultParams()
+		p.Alpha = 2.1 + src.Float64()*2.9
+		djj := 5 + src.Float64()*15
+		m := int(n%6) + 1
+		var total float64
+		dijs := make([]float64, m)
+		for i := range dijs {
+			dijs[i] = djj * (2 + src.Float64()*200)
+			total += p.InterferenceFactor(dijs[i], djj)
+		}
+		probOK := p.SuccessProbability(djj, dijs) >= 1-p.Eps
+		budgetOK := p.Informed(total)
+		if math.Abs(total-p.GammaEps()) < 1e-9 {
+			return true // knife edge: either verdict acceptable
+		}
+		return probOK == budgetOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicSINR(t *testing.T) {
+	p := DefaultParams()
+	// Signal over 10: 1e-3. One interferer at 20: 1.25e-4. SINR = 8.
+	got := p.DeterministicSINR(10, []float64{20})
+	if math.Abs(got-8) > 1e-9 {
+		t.Errorf("deterministic SINR = %v, want 8", got)
+	}
+	if !p.DeterministicSuccess(10, []float64{20}) {
+		t.Error("SINR 8 ≥ γ_th=1 must succeed")
+	}
+	if p.DeterministicSuccess(10, []float64{10, 10}) {
+		t.Error("two equal-distance interferers give SINR 0.5 < 1, must fail")
+	}
+}
+
+func TestDeterministicSINRNoInterference(t *testing.T) {
+	p := DefaultParams()
+	if got := p.DeterministicSINR(10, nil); !math.IsInf(got, 1) {
+		t.Errorf("no-interference SINR = %v, want +Inf", got)
+	}
+	p.N0 = 1e-3
+	if got := p.DeterministicSINR(10, nil); math.Abs(got-1) > 1e-12 {
+		t.Errorf("noise-limited SINR = %v, want 1", got)
+	}
+}
+
+func TestDeterministicRelativeGainBudgetEquivalence(t *testing.T) {
+	// Σ RelativeGain ≤ 1 ⟺ deterministic SINR ≥ γ_th (zero noise).
+	f := func(seed uint64, n uint8) bool {
+		src := rng.Stream(seed, "det-eq", 1)
+		p := DefaultParams()
+		p.GammaTh = 0.5 + src.Float64()*3
+		djj := 5 + src.Float64()*15
+		m := int(n%6) + 1
+		dijs := make([]float64, m)
+		var budget float64
+		for i := range dijs {
+			dijs[i] = djj * (0.5 + src.Float64()*50)
+			budget += p.RelativeGain(dijs[i], djj)
+		}
+		if math.Abs(budget-1) < 1e-9 {
+			return true // knife edge
+		}
+		return (budget <= 1) == p.DeterministicSuccess(djj, dijs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotSINRStreamAlignment(t *testing.T) {
+	// Two identical sources must yield identical SINR sequences — the
+	// alignment property the reproducibility story depends on.
+	p := DefaultParams()
+	a := rng.Stream(7, "align", 3)
+	b := rng.Stream(7, "align", 3)
+	dijs := []float64{25, 60, 90}
+	for i := 0; i < 100; i++ {
+		if x, y := p.SlotSINR(a, 12, dijs), p.SlotSINR(b, 12, dijs); x != y {
+			t.Fatalf("slot %d SINR diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestSlotSINRNoiseReducesSINR(t *testing.T) {
+	clean := DefaultParams()
+	noisy := clean
+	noisy.N0 = 1e-4
+	a := rng.Stream(9, "noise", 0)
+	b := rng.Stream(9, "noise", 0)
+	dijs := []float64{40}
+	for i := 0; i < 50; i++ {
+		if x, y := clean.SlotSINR(a, 10, dijs), noisy.SlotSINR(b, 10, dijs); y >= x {
+			t.Fatalf("noise did not reduce SINR: clean %v, noisy %v", x, y)
+		}
+	}
+}
+
+func TestGammaEpsPaperValue(t *testing.T) {
+	p := DefaultParams()
+	if got := p.GammaEps(); math.Abs(got-0.01005033585350145) > 1e-15 {
+		t.Errorf("γ_ε for ε=0.01 = %.17g", got)
+	}
+}
+
+func BenchmarkSuccessProbability(b *testing.B) {
+	p := DefaultParams()
+	dijs := make([]float64, 64)
+	for i := range dijs {
+		dijs[i] = 20 + float64(i)*7
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = p.SuccessProbability(12, dijs)
+	}
+}
+
+func BenchmarkSlotSINR(b *testing.B) {
+	p := DefaultParams()
+	src := rng.New(1)
+	dijs := make([]float64, 32)
+	for i := range dijs {
+		dijs[i] = 20 + float64(i)*11
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink = p.SlotSINR(src, 12, dijs)
+	}
+}
+
+var sink float64

@@ -1,0 +1,60 @@
+package rng
+
+import "math"
+
+// Exp returns an exponentially distributed variate with the given mean
+// (not rate), via inverse-CDF: −mean·ln(U), U ∈ (0,1]. The Rayleigh
+// channel model draws every instantaneous received power from this
+// sampler with mean P·d^{−α} (paper Eq. 5).
+func (s *Source) Exp(mean float64) float64 {
+	return -mean * math.Log(s.Float64Open())
+}
+
+// Rayleigh returns a Rayleigh-distributed variate with scale sigma,
+// i.e. the envelope |h| whose squared magnitude is exponential with
+// mean 2σ². Provided for completeness of the channel substrate (the
+// scheduler itself works with |h|² and uses Exp directly).
+func (s *Source) Rayleigh(sigma float64) float64 {
+	return sigma * math.Sqrt(-2*math.Log(s.Float64Open()))
+}
+
+// UniformRange returns a uniform variate in [lo, hi).
+func (s *Source) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// InAnnulus returns a point uniformly distributed on the annulus with
+// radii [rMin, rMax] centered at the origin, as (dx, dy). With
+// rMin == rMax the point is uniform on the circle of that radius. The
+// paper's deployment places each receiver at distance U[5,20] in a
+// uniformly random direction; that corresponds to InAnnulusLength.
+func (s *Source) InAnnulus(rMin, rMax float64) (dx, dy float64) {
+	// Area-uniform radius: r = sqrt(U·(rMax²−rMin²) + rMin²).
+	r := math.Sqrt(s.Float64()*(rMax*rMax-rMin*rMin) + rMin*rMin)
+	return s.onCircle(r)
+}
+
+// InAnnulusLength returns a point whose distance from the origin is
+// itself uniform in [rMin, rMax] (not area-uniform), matching the
+// paper's "distance randomly selected from [5,20] in a random
+// direction" receiver placement.
+func (s *Source) InAnnulusLength(rMin, rMax float64) (dx, dy float64) {
+	r := s.UniformRange(rMin, rMax)
+	return s.onCircle(r)
+}
+
+func (s *Source) onCircle(r float64) (dx, dy float64) {
+	theta := s.Float64() * 2 * math.Pi
+	sin, cos := math.Sincos(theta)
+	return r * cos, r * sin
+}
+
+// Normal returns a standard normal variate via the Box–Muller transform,
+// cosine branch only, so every call consumes exactly two uniforms and
+// the stream stays alignment-stable. Used by the clustered deployment
+// generator.
+func (s *Source) Normal() float64 {
+	u1 := s.Float64Open()
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,22 @@
+// Package rng provides the deterministic, splittable random-number
+// machinery behind every stochastic component of the reproduction:
+// instance generation, Rayleigh channel draws, and Monte-Carlo slot
+// simulation.
+//
+// Requirements that rule out a bare math/rand:
+//
+//   - Bit-for-bit reproducibility of every figure from a single 64-bit
+//     seed, independent of GOMAXPROCS. Parallel workers therefore cannot
+//     share one stream; each needs its own, derived deterministically
+//     from (seed, purpose, index).
+//   - Cheap stream derivation: a Monte-Carlo sweep derives one stream
+//     per (instance, slot-block) pair, tens of thousands per figure.
+//
+// The design is the standard SplitMix64 → xoshiro256** pipeline: a
+// SplitMix64 keyed by the parent seed and a label hash expands into the
+// 256-bit xoshiro state, guaranteeing well-distributed, non-overlapping
+// streams (this is the seeding procedure recommended by the xoshiro
+// authors). All samplers are inverse-CDF based so that one uniform draw
+// maps to exactly one variate, keeping streams alignment-stable when
+// code is reordered.
+package rng

@@ -1,0 +1,319 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("same-seed sources diverge at draw %d: %x vs %x", i, x, y)
+		}
+	}
+}
+
+func TestNewDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical draws out of 100", same)
+	}
+}
+
+func TestKnownXoshiroSequence(t *testing.T) {
+	// Regression pin: if the generator implementation drifts, every
+	// recorded experiment becomes unreproducible, so fail loudly.
+	s := New(0)
+	got := []uint64{s.Uint64(), s.Uint64(), s.Uint64(), s.Uint64()}
+	s2 := New(0)
+	for i, g := range got {
+		if w := s2.Uint64(); g != w {
+			t.Fatalf("draw %d unstable: %x vs %x", i, g, w)
+		}
+	}
+	if got[0] == 0 && got[1] == 0 {
+		t.Fatal("generator emitting zeros from seed 0 — state expansion broken")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 100000; i++ {
+		if f := s.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+		if f := s.Float64Open(); f <= 0 || f > 1 {
+			t.Fatalf("Float64Open out of (0,1]: %v", f)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	s := New(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		f := s.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if math.Abs(variance-1.0/12) > 0.005 {
+		t.Errorf("uniform variance = %v, want ≈1/12", variance)
+	}
+}
+
+func TestIntNUnbiasedSmallN(t *testing.T) {
+	s := New(3)
+	counts := make([]int, 7)
+	const n = 140000
+	for i := 0; i < n; i++ {
+		counts[s.IntN(7)]++
+	}
+	want := float64(n) / 7
+	for v, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.03 {
+			t.Errorf("IntN(7) value %d drawn %d times, want ≈%g", v, c, want)
+		}
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IntN(%d) did not panic", n)
+				}
+			}()
+			s.IntN(n)
+		}()
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Streams with different labels or indices must not collide on
+	// their leading draws.
+	seen := map[uint64]string{}
+	labels := []string{"deploy", "slot", "instance", "exp"}
+	for _, label := range labels {
+		for idx := uint64(0); idx < 64; idx++ {
+			v := Stream(42, label, idx).Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("stream (%s,%d) first draw collides with %s", label, idx, prev)
+			}
+			seen[v] = label
+		}
+	}
+}
+
+func TestStreamDeterministicAcrossCalls(t *testing.T) {
+	f := func(seed, idx uint64) bool {
+		a := Stream(seed, "mc", idx)
+		b := Stream(seed, "mc", idx)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamSeedSeparation(t *testing.T) {
+	if Stream(1, "x", 0).Uint64() == Stream(2, "x", 0).Uint64() {
+		t.Error("streams from different seeds collide on first draw")
+	}
+}
+
+func TestExpMeanAndCDF(t *testing.T) {
+	s := New(11)
+	const n = 300000
+	const mean = 2.5
+	var sum float64
+	below := 0 // count X <= mean, CDF(mean) = 1 − e^{−1}
+	for i := 0; i < n; i++ {
+		x := s.Exp(mean)
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		if x <= mean {
+			below++
+		}
+	}
+	if got := sum / n; math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %v, want ≈%v", got, mean)
+	}
+	wantCDF := 1 - math.Exp(-1)
+	if got := float64(below) / n; math.Abs(got-wantCDF) > 0.01 {
+		t.Errorf("P(X ≤ mean) = %v, want ≈%v", got, wantCDF)
+	}
+}
+
+func TestRayleighEnvelopeMatchesExpPower(t *testing.T) {
+	// |h| ~ Rayleigh(σ) ⟺ |h|² ~ Exp(mean 2σ²). Verify via second moment.
+	s := New(13)
+	const n = 200000
+	const sigma = 1.7
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		r := s.Rayleigh(sigma)
+		sumSq += r * r
+	}
+	want := 2 * sigma * sigma
+	if got := sumSq / n; math.Abs(got-want)/want > 0.02 {
+		t.Errorf("E[|h|²] = %v, want ≈%v", got, want)
+	}
+}
+
+func TestInAnnulusLengthRadiusUniform(t *testing.T) {
+	s := New(17)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		dx, dy := s.InAnnulusLength(5, 20)
+		r := math.Hypot(dx, dy)
+		if r < 5-1e-9 || r > 20+1e-9 {
+			t.Fatalf("annulus radius %v outside [5,20]", r)
+		}
+		sum += r
+	}
+	if got := sum / n; math.Abs(got-12.5) > 0.1 {
+		t.Errorf("mean radius = %v, want ≈12.5 (length-uniform)", got)
+	}
+}
+
+func TestInAnnulusAreaUniform(t *testing.T) {
+	// Area-uniform mean radius on [rMin,rMax] is
+	// (2/3)(rMax³−rMin³)/(rMax²−rMin²).
+	s := New(19)
+	const n = 100000
+	const rMin, rMax = 5.0, 20.0
+	var sum float64
+	for i := 0; i < n; i++ {
+		dx, dy := s.InAnnulus(rMin, rMax)
+		sum += math.Hypot(dx, dy)
+	}
+	want := 2.0 / 3 * (rMax*rMax*rMax - rMin*rMin*rMin) / (rMax*rMax - rMin*rMin)
+	if got := sum / n; math.Abs(got-want)/want > 0.01 {
+		t.Errorf("mean radius = %v, want ≈%v (area-uniform)", got, want)
+	}
+}
+
+func TestAnnulusDirectionUniform(t *testing.T) {
+	s := New(23)
+	quad := make([]int, 4)
+	const n = 80000
+	for i := 0; i < n; i++ {
+		dx, dy := s.InAnnulusLength(1, 1)
+		q := 0
+		if dx < 0 {
+			q |= 1
+		}
+		if dy < 0 {
+			q |= 2
+		}
+		quad[q]++
+	}
+	for q, c := range quad {
+		if math.Abs(float64(c)-n/4.0)/(n/4.0) > 0.03 {
+			t.Errorf("quadrant %d has %d points, want ≈%d", q, c, n/4)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(29)
+	const n = 300000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := s.Normal()
+		sum += x
+		sumSq += x * x
+	}
+	if mean := sum / n; math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ≈0", mean)
+	}
+	if v := sumSq / n; math.Abs(v-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ≈1", v)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(31)
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	Shuffle(s, xs)
+	seen := make([]bool, 100)
+	for _, x := range xs {
+		if x < 0 || x >= 100 || seen[x] {
+			t.Fatalf("shuffle is not a permutation: %v", xs)
+		}
+		seen[x] = true
+	}
+}
+
+func TestShuffleUniformFirstElement(t *testing.T) {
+	s := New(37)
+	counts := make([]int, 5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		xs := []int{0, 1, 2, 3, 4}
+		Shuffle(s, xs)
+		counts[xs[0]]++
+	}
+	for v, c := range counts {
+		if math.Abs(float64(c)-n/5.0)/(n/5.0) > 0.04 {
+			t.Errorf("value %d first %d times, want ≈%d", v, c, n/5)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= s.Uint64()
+	}
+	sinkUint = acc
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += s.Exp(1)
+	}
+	sinkFloat = acc
+}
+
+func BenchmarkStreamDerivation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkUint = Stream(42, "mc", uint64(i)).Uint64()
+	}
+}
+
+var (
+	sinkUint  uint64
+	sinkFloat float64
+)

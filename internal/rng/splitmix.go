@@ -1,0 +1,28 @@
+package rng
+
+// splitMix64 advances the SplitMix64 state and returns the next value.
+// SplitMix64 is used solely to expand seeds into xoshiro state and to
+// hash stream labels; it is never exposed as a user-facing generator.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hashLabel folds an arbitrary string into 64 bits with an FNV-1a pass
+// followed by a SplitMix64 finalizer, giving labels ("instance", "slot",
+// "deploy", ...) independent seed offsets.
+func hashLabel(label string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return splitMix64(&h)
+}

@@ -1,0 +1,82 @@
+package rng
+
+import "math/bits"
+
+// Source is a xoshiro256** pseudo-random generator. It satisfies
+// math/rand/v2's rand.Source interface (Uint64) but is normally used
+// directly through the sampler methods in dist.go.
+//
+// The zero value is invalid; construct with New or Stream.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from a single 64-bit seed via SplitMix64
+// state expansion.
+func New(seed uint64) *Source {
+	var src Source
+	src.reseed(seed)
+	return &src
+}
+
+func (s *Source) reseed(seed uint64) {
+	sm := seed
+	s.s0 = splitMix64(&sm)
+	s.s1 = splitMix64(&sm)
+	s.s2 = splitMix64(&sm)
+	s.s3 = splitMix64(&sm)
+	// xoshiro forbids the all-zero state; SplitMix64 cannot emit four
+	// consecutive zeros, but guard anyway for auditability.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s3 = 1
+	}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0,1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * 0x1p-53
+}
+
+// Float64Open returns a uniform variate in the open interval (0,1],
+// suitable as input to -log(u) without producing +Inf.
+func (s *Source) Float64Open() float64 {
+	return float64(s.Uint64()>>11+1) * 0x1p-53
+}
+
+// IntN returns a uniform integer in [0,n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method (unbiased).
+func (s *Source) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN called with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
+}
+
+// Shuffle permutes xs in place with the Fisher–Yates algorithm.
+func Shuffle[T any](s *Source, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

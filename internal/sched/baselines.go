@@ -1,0 +1,62 @@
+package sched
+
+import "fmt"
+
+// ApproxLogN is the deterministic-SINR diversity-partition baseline of
+// Goussevskaia et al. [14], the algorithm LDP extends: disjoint
+// (banded) length classes, square tiling, 4 colors, one link per
+// same-color square — but with the square size derived from the
+// non-fading SINR condition (DeterministicBeta). Under an actual
+// Rayleigh channel its schedules are too dense, producing the failed
+// transmissions of the paper's Fig. 5.
+type ApproxLogN struct{}
+
+// Name implements Algorithm.
+func (ApproxLogN) Name() string { return "approxlogn" }
+
+// Schedule implements Algorithm.
+func (ApproxLogN) Schedule(pr *Problem) Schedule {
+	budget, spread, usable := pr.detHeadroom()
+	classes := filterClasses(pr.Links.BandedLengthClasses(), usable)
+	best := gridPartitionBest(pr, classes, detBetaFor(pr.Params, budget, spread))
+	return NewSchedule("approxlogn", best)
+}
+
+// ApproxDiversity is the deterministic-SINR shortest-link-first
+// baseline of Goussevskaia et al. [15]: the same elimination structure
+// as RLE, but budgeting the deterministic relative gain against the
+// unit SINR budget instead of the fading interference factor against
+// γ_ε. Like ApproxLogN it over-packs under fading.
+type ApproxDiversity struct {
+	// C2 splits the deterministic budget; zero means DefaultC2.
+	C2 float64
+}
+
+// Name implements Algorithm.
+func (a ApproxDiversity) Name() string {
+	if a.C2 == 0 || a.C2 == DefaultC2 {
+		return "approxdiversity"
+	}
+	return fmt.Sprintf("approxdiversity-c2=%v", a.C2)
+}
+
+// Schedule implements Algorithm.
+func (a ApproxDiversity) Schedule(pr *Problem) Schedule {
+	c2 := a.C2
+	if c2 == 0 {
+		c2 = DefaultC2
+	}
+	budget, spread, usable := pr.detHeadroom()
+	active := eliminationSchedule(pr, eliminationConfig{
+		c1:     detC1For(pr.Params, budget, spread, c2),
+		budget: c2 * budget, // c₂ share of the deterministic budget
+		factor: pr.detGain,
+		usable: usable,
+	})
+	return NewSchedule(a.Name(), active)
+}
+
+func init() {
+	mustRegister(ApproxLogN{})
+	mustRegister(ApproxDiversity{})
+}

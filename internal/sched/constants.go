@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/radio"
+)
+
+// prExp is exp(−x) named for its role: converting an interference-
+// factor sum into a Theorem 3.1 success probability.
+func prExp(factorSum float64) float64 { return math.Exp(-factorSum) }
+
+// LDPBeta returns the paper's grid-size constant (Eq. 37)
+//
+//	β = (8·ζ(α−1)·γ_th / γ_ε)^{1/α},
+//
+// which makes the ring sum of interference factors in Theorem 4.1
+// converge below γ_ε. Squares of class k then have side 2^{h_k+1}·β·δ.
+func LDPBeta(p radio.Params) float64 {
+	return ldpBetaFor(p, p.GammaEps(), 1)
+}
+
+// ldpBetaFor generalizes LDPBeta to a reduced interference budget
+// (noise headroom) and a power spread: interfering powers up to
+// spread× the desired link's power scale every ring term by spread, so
+// the side length grows by spread^{1/α}. budget = γ_ε, spread = 1
+// recovers the paper exactly.
+func ldpBetaFor(p radio.Params, budget, spread float64) float64 {
+	return math.Pow(8*mathx.Zeta(p.Alpha-1)*p.GammaTh*spread/budget, 1/p.Alpha)
+}
+
+// DeterministicBeta is the ApproxLogN analogue of LDPBeta: the same
+// ring-summation bound applied to the non-fading SINR condition
+// Σ relative gains ≤ 1, i.e. γ_ε replaced by the unit budget:
+//
+//	β_det = (8·ζ(α−1)·γ_th)^{1/α}.
+//
+// Because γ_ε ≈ ε for small ε, β_det is smaller than the fading β by a
+// factor ≈ (1/ε)^{1/α}; ApproxLogN therefore packs far more concurrent
+// links — and pays for it with fading failures.
+func DeterministicBeta(p radio.Params) float64 {
+	return detBetaFor(p, 1, 1)
+}
+
+// RLEC1 returns the paper's elimination radius constant (Eq. 59)
+//
+//	c₁ = √2·(12·ζ(α−1)·γ_th / (γ_ε·(1−c₂)))^{1/α} + 1
+//
+// for a given interference-budget split c₂ ∈ (0,1).
+func RLEC1(p radio.Params, c2 float64) float64 {
+	return rleC1For(p, p.GammaEps(), 1, c2)
+}
+
+// rleC1For generalizes RLEC1 to a reduced budget and power spread, on
+// the same reasoning as ldpBetaFor.
+func rleC1For(p radio.Params, budget, spread, c2 float64) float64 {
+	return math.Sqrt2*math.Pow(12*mathx.Zeta(p.Alpha-1)*p.GammaTh*spread/(budget*(1-c2)), 1/p.Alpha) + 1
+}
+
+// DeterministicC1 is the ApproxDiversity analogue of RLEC1: the same
+// ring bound against the deterministic unit budget,
+//
+//	c₁_det = √2·(12·ζ(α−1)·γ_th / (1−c₂))^{1/α} + 1.
+func DeterministicC1(p radio.Params, c2 float64) float64 {
+	return detC1For(p, 1, 1, c2)
+}
+
+// detBetaFor and detC1For are the deterministic-budget aliases of the
+// generalized constants: the ring-summation algebra is identical, only
+// the budget convention differs (unit budget instead of γ_ε).
+// budget = spread = 1 recovers the published baseline constants.
+func detBetaFor(p radio.Params, budget, spread float64) float64 {
+	return ldpBetaFor(p, budget, spread)
+}
+
+func detC1For(p radio.Params, budget, spread, c2 float64) float64 {
+	return rleC1For(p, budget, spread, c2)
+}
+
+// LDPApproximationBound returns the proven worst-case ratio 16·g(L) of
+// Theorem 4.2 for an instance with the given diversity.
+func LDPApproximationBound(diversity int) float64 {
+	return 16 * float64(diversity)
+}
+
+// RLEApproximationBound returns the proven worst-case ratio of Theorem
+// 4.4, 3^α·5ε/(c₂(1−ε)γ_th) + 1, for uniform-rate instances.
+func RLEApproximationBound(p radio.Params, c2 float64) float64 {
+	return math.Pow(3, p.Alpha)*5*p.Eps/(c2*(1-p.Eps)*p.GammaTh) + 1
+}

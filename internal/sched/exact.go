@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Exact solves Fading-R-LS to optimality by parallel branch-and-bound
+// over the ILP of Eqs. 20–22. It is exponential in the worst case and
+// intended for the small instances (N ≲ 24) used to measure empirical
+// approximation ratios of the polynomial algorithms.
+//
+// Soundness of the pruning rests on the downward-closure of
+// feasibility: adding a sender only raises interference at every
+// receiver and adds a constraint, so an infeasible partial set cannot
+// become feasible again, and the subtree below it is cut. The bound is
+// the rate of the current set plus all undecided rates.
+type Exact struct {
+	// MaxN caps the instance size the solver will attempt; larger
+	// problems panic rather than silently running for hours. Zero
+	// means DefaultExactMaxN.
+	MaxN int
+	// SplitDepth is the number of leading decision levels expanded
+	// into parallel subtree tasks (2^SplitDepth tasks). Zero means 4.
+	SplitDepth int
+}
+
+// DefaultExactMaxN bounds Exact instance sizes (2^26 nodes worst case
+// before pruning — safely interactive; raise MaxN deliberately for
+// bigger hunts).
+const DefaultExactMaxN = 26
+
+// Name implements Algorithm.
+func (Exact) Name() string { return "exact" }
+
+// Schedule implements Algorithm.
+func (e Exact) Schedule(pr *Problem) Schedule {
+	maxN := e.MaxN
+	if maxN == 0 {
+		maxN = DefaultExactMaxN
+	}
+	if pr.N() > maxN {
+		panic("sched: Exact solver refused instance larger than MaxN; use the approximation algorithms")
+	}
+	best := exactSolve(pr, e.splitDepth(pr.N()))
+	return NewSchedule("exact", best)
+}
+
+func (e Exact) splitDepth(n int) int {
+	d := e.SplitDepth
+	if d == 0 {
+		d = 4
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// exactState is the shared search state: the incumbent value/set under
+// a mutex. Reads on the hot path take the mutex too — contention is
+// negligible next to the node work, and it keeps the code obviously
+// correct.
+type exactState struct {
+	mu       sync.Mutex
+	bestRate float64
+	bestSet  []int
+}
+
+func (st *exactState) offer(rate float64, set []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rate > st.bestRate {
+		st.bestRate = rate
+		st.bestSet = append(st.bestSet[:0], set...)
+	}
+}
+
+func (st *exactState) bound() float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bestRate
+}
+
+func exactSolve(pr *Problem, splitDepth int) []int {
+	n := pr.N()
+	if n == 0 {
+		return nil
+	}
+	// Decision order: descending rate so the additive bound tightens
+	// fast; ties broken by shorter length (easier to keep feasible).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := pr.Links.Rate(order[a]), pr.Links.Rate(order[b])
+		if ra != rb {
+			return ra > rb
+		}
+		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
+	})
+	// suffixRate[d] = Σ rates of decisions d..n−1 (the optimistic bound).
+	suffixRate := make([]float64, n+1)
+	for d := n - 1; d >= 0; d-- {
+		suffixRate[d] = suffixRate[d+1] + pr.Links.Rate(order[d])
+	}
+
+	st := &exactState{}
+	// Seed the incumbent with Greedy so pruning bites immediately.
+	seed := (Greedy{}).Schedule(pr)
+	st.offer(seed.Throughput(pr), seed.Active)
+
+	// Enumerate the 2^splitDepth assignments of the first splitDepth
+	// decisions; each feasible prefix becomes one parallel task.
+	type task struct {
+		set    []int
+		interf []float64
+		rate   float64
+	}
+	var tasks []task
+	var build func(d int, set []int, interf []float64, rate float64)
+	build = func(d int, set []int, interf []float64, rate float64) {
+		if d == splitDepth {
+			tasks = append(tasks, task{
+				set:    append([]int(nil), set...),
+				interf: append([]float64(nil), interf...),
+				rate:   rate,
+			})
+			return
+		}
+		i := order[d]
+		// Exclude branch.
+		build(d+1, set, interf, rate)
+		// Include branch, if the prefix stays feasible.
+		if ni, ok := tryInclude(pr, set, interf, i); ok {
+			build(d+1, append(set, i), ni, rate+pr.Links.Rate(i))
+		}
+	}
+	// The interference vector starts at each receiver's noise term so
+	// the Informed checks in tryInclude test the full noise-aware
+	// budget (identical to plain Corollary 3.1 when N0 = 0).
+	interf0 := make([]float64, n)
+	for j := range interf0 {
+		interf0[j] = pr.NoiseTerm(j)
+	}
+	build(0, nil, interf0, 0)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(tk task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			dfs(pr, st, order, suffixRate, splitDepth, tk.set, tk.interf, tk.rate)
+		}(tk)
+	}
+	wg.Wait()
+	return append([]int(nil), st.bestSet...)
+}
+
+// tryInclude returns the interference vector after adding sender i to
+// set, or ok=false when the grown set violates any member's budget
+// (including i's own). interf is not mutated.
+func tryInclude(pr *Problem, set []int, interf []float64, i int) ([]float64, bool) {
+	if !pr.Params.Informed(interf[i]) {
+		return nil, false
+	}
+	for _, j := range set {
+		if !pr.Params.Informed(interf[j] + pr.Factor(i, j)) {
+			return nil, false
+		}
+	}
+	ni := append([]float64(nil), interf...)
+	for j := range ni {
+		if j != i {
+			ni[j] += pr.Factor(i, j)
+		}
+	}
+	return ni, true
+}
+
+func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, interf []float64, rate float64) {
+	if rate+suffixRate[d] <= st.bound()+1e-12 {
+		return // even taking everything left cannot beat the incumbent
+	}
+	if d == len(order) {
+		st.offer(rate, set)
+		return
+	}
+	i := order[d]
+	// Include first: descending-rate order means the include branch is
+	// the one that can raise the incumbent fastest.
+	if ni, ok := tryInclude(pr, set, interf, i); ok {
+		dfs(pr, st, order, suffixRate, d+1, append(set, i), ni, rate+pr.Links.Rate(i))
+	}
+	dfs(pr, st, order, suffixRate, d+1, set, interf, rate)
+}
+
+func init() {
+	mustRegister(Exact{})
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+)
+
+// ILP is the big-M integer-linear-program form of Fading-R-LS
+// (paper Eqs. 20–22):
+//
+//	max  Σ λ_i·x_i
+//	s.t. Σ_i f_{i,j}·x_i ≤ γ_ε + M·(1−x_j)   ∀j
+//	     x ∈ {0,1}^N
+//
+// The struct materializes the coefficient data so it can be exported
+// (e.g. to an external solver format) and so tests can check the
+// formulation is exactly equivalent to the set-based feasibility
+// definition. The Exact solver consumes the Problem directly — the
+// big-M trick is only needed by matrix-form solvers.
+type ILP struct {
+	// Rates holds the objective coefficients λ.
+	Rates []float64
+	// F is the row-major factor matrix, F[i][j] = f_{i,j}.
+	F [][]float64
+	// Noise holds each receiver's additive noise term (zero in the
+	// paper's model); constraint j's effective budget is
+	// GammaEps − Noise[j].
+	Noise []float64
+	// GammaEps is the common right-hand budget γ_ε.
+	GammaEps float64
+	// M is the big-M constant: any value large enough that the x_j = 0
+	// form of constraint j can never bind. The left-hand side is at
+	// most Σ_i f_{i,j}, and the right-hand side is γ_ε − Noise[j] + M
+	// (which can start deeply negative for noise-dominated links), so
+	// we use max_j (Σ_i f_{i,j} + Noise[j]) + 1.
+	M float64
+}
+
+// BuildILP extracts the ILP data of a problem.
+func BuildILP(pr *Problem) ILP {
+	n := pr.N()
+	ilp := ILP{
+		Rates:    make([]float64, n),
+		F:        make([][]float64, n),
+		Noise:    make([]float64, n),
+		GammaEps: pr.GammaEps(),
+	}
+	for i := 0; i < n; i++ {
+		ilp.Rates[i] = pr.Links.Rate(i)
+		ilp.Noise[i] = pr.NoiseTerm(i)
+		ilp.F[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			ilp.F[i][j] = pr.Factor(i, j)
+		}
+	}
+	for j := 0; j < n; j++ {
+		col := ilp.Noise[j]
+		for i := 0; i < n; i++ {
+			if f := ilp.F[i][j]; f > 0 {
+				col += f
+			}
+		}
+		if col+1 > ilp.M {
+			ilp.M = col + 1
+		}
+	}
+	return ilp
+}
+
+// FeasibleAssignment evaluates the ILP constraints on a 0/1 assignment,
+// returning true iff every big-M row holds. It is the matrix-form
+// mirror of Verify and exists so tests can prove the two agree.
+func (ilp ILP) FeasibleAssignment(x []bool) bool {
+	n := len(ilp.Rates)
+	for j := 0; j < n; j++ {
+		var lhs float64
+		for i := 0; i < n; i++ {
+			if x[i] {
+				lhs += ilp.F[i][j]
+			}
+		}
+		rhs := ilp.GammaEps - ilp.Noise[j]
+		if !x[j] {
+			rhs += ilp.M
+		}
+		if lhs > rhs+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Objective returns Σ λ_i·x_i.
+func (ilp ILP) Objective(x []bool) float64 {
+	var sum float64
+	for i, on := range x {
+		if on {
+			sum += ilp.Rates[i]
+		}
+	}
+	return sum
+}
+
+// WriteLP renders the ILP in the textual CPLEX-LP format, which most
+// solvers import; useful for cross-checking the Exact solver against
+// an external MIP solver offline.
+func (ilp ILP) WriteLP(w io.Writer) error {
+	n := len(ilp.Rates)
+	if _, err := fmt.Fprintln(w, "Maximize"); err != nil {
+		return err
+	}
+	fmt.Fprint(w, " obj:")
+	for i, r := range ilp.Rates {
+		fmt.Fprintf(w, " + %g x%d", r, i)
+	}
+	fmt.Fprintln(w, "\nSubject To")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(w, " c%d:", j)
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			fmt.Fprintf(w, " + %g x%d", ilp.F[i][j], i)
+		}
+		// Move M·(1−x_j) to the left: Σ f·x_i + M·x_j ≤ γ_ε − noise_j + M.
+		fmt.Fprintf(w, " + %g x%d <= %g\n", ilp.M, j, ilp.GammaEps-ilp.Noise[j]+ilp.M)
+	}
+	fmt.Fprintln(w, "Binary")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, " x%d", i)
+	}
+	_, err := fmt.Fprintln(w, "\nEnd")
+	return err
+}

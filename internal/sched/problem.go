@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/radio"
+)
+
+// Problem is one Fading-R-LS instance: a link set plus the physical
+// model parameters. It caches the full interference-factor matrix
+// because every algorithm and every verification pass reads it.
+type Problem struct {
+	Links  *network.LinkSet
+	Params radio.Params
+
+	// factor[i*n+j] = f_{i,j} (0 on the diagonal, per Eq. 17),
+	// computed with each link's effective transmit power.
+	factor []float64
+	// noise[j] is the additive noise term of link j in the noise-aware
+	// feasibility condition (all zero in the paper's N0 = 0 setting).
+	noise []float64
+	// power[i] is link i's effective transmit power.
+	power []float64
+	n     int
+}
+
+// NewProblem validates parameters and precomputes the factor matrix.
+func NewProblem(ls *network.LinkSet, p radio.Params) (*Problem, error) {
+	if ls == nil {
+		return nil, fmt.Errorf("sched: nil link set")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: invalid radio params: %w", err)
+	}
+	n := ls.Len()
+	pr := &Problem{
+		Links: ls, Params: p, n: n,
+		factor: make([]float64, n*n),
+		noise:  make([]float64, n),
+		power:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		pr.power[i] = p.EffectivePower(ls.Power(i))
+	}
+	for j := 0; j < n; j++ {
+		pr.noise[j] = p.NoiseFactorP(pr.power[j], ls.Length(j))
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			pr.factor[i*n+j] = p.InterferenceFactorP(pr.power[i], ls.Dist(i, j), pr.power[j], ls.Length(j))
+		}
+	}
+	return pr, nil
+}
+
+// MustNewProblem panics on error; for tests and generators with known
+// valid inputs.
+func MustNewProblem(ls *network.LinkSet, p radio.Params) *Problem {
+	pr, err := NewProblem(ls, p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// N returns the number of links.
+func (pr *Problem) N() int { return pr.n }
+
+// Factor returns f_{i,j}, the interference factor of sender i on
+// receiver j (0 when i == j).
+func (pr *Problem) Factor(i, j int) float64 { return pr.factor[i*pr.n+j] }
+
+// GammaEps returns the feasibility budget γ_ε of the instance.
+func (pr *Problem) GammaEps() float64 { return pr.Params.GammaEps() }
+
+// NoiseTerm returns receiver j's additive noise contribution to its
+// feasibility budget (0 with the paper's N0 = 0).
+func (pr *Problem) NoiseTerm(j int) float64 { return pr.noise[j] }
+
+// PowerOf returns link i's effective transmit power.
+func (pr *Problem) PowerOf(i int) float64 { return pr.power[i] }
+
+// headroom computes the shared machinery the approximation algorithms
+// use to stay correct under the noise and heterogeneous-power
+// extensions while reducing exactly to the paper on its own model:
+//
+//   - usable[j] is false when link j's noise term alone eats more than
+//     half its budget (such links need near-silence and are handled
+//     only by the exact/greedy family);
+//   - budget is γ_ε minus the worst usable noise term — the
+//     interference budget every usable link provably still has;
+//   - spread is the max/min effective power ratio over usable links;
+//     the grid/elimination constants inflate by spread^{1/α} so the
+//     ring-summation bounds hold with heterogeneous interferer powers.
+//
+// With N0 = 0 and uniform power this is (γ_ε, 1, all-true) and every
+// algorithm behaves byte-identically to the paper's pseudocode.
+func (pr *Problem) headroom() (budget, spread float64, usable []bool) {
+	ge := pr.GammaEps()
+	budget = ge
+	usable = make([]bool, pr.n)
+	var worstNoise float64
+	minP, maxP := math.Inf(1), 0.0
+	for j := 0; j < pr.n; j++ {
+		if pr.noise[j] > ge/2 {
+			continue
+		}
+		usable[j] = true
+		worstNoise = math.Max(worstNoise, pr.noise[j])
+		minP = math.Min(minP, pr.power[j])
+		maxP = math.Max(maxP, pr.power[j])
+	}
+	budget = ge - worstNoise
+	spread = 1.0
+	if maxP > 0 && minP < math.Inf(1) && maxP > minP {
+		spread = maxP / minP
+	}
+	return budget, spread, usable
+}
+
+// detHeadroom is headroom for the deterministic (non-fading) model the
+// baselines budget against: unit interference budget, noise term
+// γ_th·N0/(P_j·d_jj^{−α}). Reduces to (1, 1, all-true) on the paper's
+// model.
+func (pr *Problem) detHeadroom() (budget, spread float64, usable []bool) {
+	budget = 1
+	usable = make([]bool, pr.n)
+	var worstNoise float64
+	minP, maxP := math.Inf(1), 0.0
+	for j := 0; j < pr.n; j++ {
+		dn := pr.detNoise(j)
+		if dn > 0.5 {
+			continue
+		}
+		usable[j] = true
+		worstNoise = math.Max(worstNoise, dn)
+		minP = math.Min(minP, pr.power[j])
+		maxP = math.Max(maxP, pr.power[j])
+	}
+	budget = 1 - worstNoise
+	spread = 1.0
+	if maxP > 0 && minP < math.Inf(1) && maxP > minP {
+		spread = maxP / minP
+	}
+	return budget, spread, usable
+}
+
+// detNoise is the deterministic-model noise share of link j's unit
+// budget.
+func (pr *Problem) detNoise(j int) float64 {
+	if pr.Params.N0 == 0 {
+		return 0
+	}
+	return pr.Params.GammaTh * pr.Params.N0 / pr.Params.MeanGainP(pr.power[j], pr.Links.Length(j))
+}
+
+// detGain is the deterministic-model relative interference of sender i
+// on receiver j, power-aware: γ_th·(P_i/P_j)·(d_jj/d_ij)^α.
+func (pr *Problem) detGain(i, j int) float64 {
+	base := pr.Params.RelativeGain(pr.Links.Dist(i, j), pr.Links.Length(j))
+	return base * pr.power[i] / pr.power[j]
+}
+
+// InterferenceOn returns Σ_{i∈active, i≠j} f_{i,j}: the total
+// interference factor on receiver j from the given active sender set.
+// The sum is plain left-to-right; budgets are O(10⁻²) with factors
+// bounded below by ~10⁻¹⁵ of the budget at deployment scale, so
+// compensation is unnecessary here (the verifier uses compensated sums
+// as an independent cross-check).
+func (pr *Problem) InterferenceOn(j int, active []int) float64 {
+	var sum float64
+	row := pr.factor
+	for _, i := range active {
+		if i != j {
+			sum += row[i*pr.n+j]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Algorithm is a Fading-R-LS scheduler: it consumes a Problem and
+// returns the set of links to activate in the single time slot.
+// Implementations must be deterministic for a given Problem (stochastic
+// algorithms like DLS carry their seed in the value).
+type Algorithm interface {
+	// Name is the registry key and the label used in experiment tables.
+	Name() string
+	// Schedule computes the activation set.
+	Schedule(pr *Problem) Schedule
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Algorithm{}
+)
+
+// Register makes a (default-configured) algorithm available by name to
+// CLIs and the experiment harness. Duplicate names error.
+func Register(a Algorithm) error {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[a.Name()]; dup {
+		return fmt.Errorf("sched: algorithm %q already registered", a.Name())
+	}
+	registry[a.Name()] = a
+	return nil
+}
+
+func mustRegister(a Algorithm) {
+	if err := Register(a); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered algorithm with the given name.
+func Lookup(name string) (Algorithm, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/radio"
+)
+
+// paperProblem builds a paper-style random instance as a Problem.
+func paperProblem(t testing.TB, n int, seed uint64) *Problem {
+	t.Helper()
+	ls, err := network.Generate(network.PaperConfig(n), seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustNewProblem(ls, radio.DefaultParams())
+}
+
+// sparseProblem builds k links far apart (all mutually feasible).
+func sparseProblem(t testing.TB, k int) *Problem {
+	t.Helper()
+	links := make([]network.Link, k)
+	for i := range links {
+		x := float64(i) * 1e5
+		links[i] = network.Link{
+			Sender:   geom.Point{X: x, Y: 0},
+			Receiver: geom.Point{X: x + 10, Y: 0},
+			Rate:     1,
+		}
+	}
+	return MustNewProblem(network.MustNewLinkSet(links), radio.DefaultParams())
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	ls := network.MustNewLinkSet([]network.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 1},
+	})
+	if _, err := NewProblem(nil, radio.DefaultParams()); err == nil {
+		t.Error("nil link set accepted")
+	}
+	bad := radio.DefaultParams()
+	bad.Alpha = 1.5
+	if _, err := NewProblem(ls, bad); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestFactorMatrix(t *testing.T) {
+	links := []network.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 1},
+		{Sender: geom.Point{X: 50, Y: 0}, Receiver: geom.Point{X: 50, Y: 10}, Rate: 1},
+	}
+	pr := MustNewProblem(network.MustNewLinkSet(links), radio.DefaultParams())
+	if pr.Factor(0, 0) != 0 || pr.Factor(1, 1) != 0 {
+		t.Error("diagonal factors must be 0 (Eq. 17)")
+	}
+	// f_{0,1}: sender 0 at origin, receiver 1 at (50,10), d = sqrt(2600),
+	// d_jj = 10, γ_th = 1, α = 3.
+	want := math.Log1p(math.Pow(10/math.Sqrt(2600), 3))
+	if got := pr.Factor(0, 1); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Factor(0,1) = %v, want %v", got, want)
+	}
+}
+
+func TestInterferenceOnSkipsSelf(t *testing.T) {
+	pr := paperProblem(t, 20, 3)
+	active := []int{0, 1, 2, 3}
+	for _, j := range active {
+		manual := 0.0
+		for _, i := range active {
+			if i != j {
+				manual += pr.Factor(i, j)
+			}
+		}
+		if got := pr.InterferenceOn(j, active); math.Abs(got-manual) > 1e-12 {
+			t.Errorf("InterferenceOn(%d) = %v, want %v", j, got, manual)
+		}
+	}
+}
+
+func TestNewScheduleNormalizes(t *testing.T) {
+	s := NewSchedule("x", []int{5, 1, 3, 1, 5})
+	want := []int{1, 3, 5}
+	if len(s.Active) != 3 {
+		t.Fatalf("Active = %v", s.Active)
+	}
+	for i := range want {
+		if s.Active[i] != want[i] {
+			t.Fatalf("Active = %v, want %v", s.Active, want)
+		}
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if s.Len() != 3 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestVerifyEmptyAndSingleton(t *testing.T) {
+	pr := paperProblem(t, 10, 1)
+	if v := Verify(pr, NewSchedule("", nil)); len(v) != 0 {
+		t.Error("empty schedule reported infeasible")
+	}
+	for i := 0; i < pr.N(); i++ {
+		if v := Verify(pr, NewSchedule("", []int{i})); len(v) != 0 {
+			t.Errorf("singleton {%d} reported infeasible: %v", i, v)
+		}
+	}
+}
+
+func TestVerifyDetectsOverload(t *testing.T) {
+	// Two parallel links stacked closely: each interferes on the other
+	// with factor ln(1 + (10/d)³) where d ≈ 10 → factor ≈ ln 2 ≫ γ_ε.
+	links := []network.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 1},
+		{Sender: geom.Point{X: 0, Y: 1}, Receiver: geom.Point{X: 10, Y: 1}, Rate: 1},
+	}
+	pr := MustNewProblem(network.MustNewLinkSet(links), radio.DefaultParams())
+	s := NewSchedule("", []int{0, 1})
+	v := Verify(pr, s)
+	if len(v) != 2 {
+		t.Fatalf("want both links violated, got %v", v)
+	}
+	if Feasible(pr, s) {
+		t.Error("Feasible true on a violated schedule")
+	}
+	if v[0].String() == "" {
+		t.Error("violation string empty")
+	}
+}
+
+func TestSuccessProbabilitiesAndExpectedFailures(t *testing.T) {
+	pr := sparseProblem(t, 4)
+	s := NewSchedule("", []int{0, 1, 2, 3})
+	probs := SuccessProbabilities(pr, s)
+	for k, p := range probs {
+		if p < 0.999999 {
+			t.Errorf("far-apart link %d success %v, want ≈1", k, p)
+		}
+	}
+	if ef := ExpectedFailures(pr, s); ef > 1e-5 {
+		t.Errorf("expected failures %v, want ≈0", ef)
+	}
+	// Overloaded pair: success probability = 1/(1+(10/d)³) each.
+	links := []network.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 1},
+		{Sender: geom.Point{X: 0, Y: 1}, Receiver: geom.Point{X: 10, Y: 1}, Rate: 1},
+	}
+	pr2 := MustNewProblem(network.MustNewLinkSet(links), radio.DefaultParams())
+	s2 := NewSchedule("", []int{0, 1})
+	probs2 := SuccessProbabilities(pr2, s2)
+	for _, p := range probs2 {
+		if p > 0.7 {
+			t.Errorf("overloaded link success %v, want well below 1", p)
+		}
+	}
+	if ef := ExpectedFailures(pr2, s2); ef < 0.5 {
+		t.Errorf("overloaded expected failures = %v", ef)
+	}
+}
+
+func TestScheduleThroughput(t *testing.T) {
+	links := []network.Link{
+		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 2.5},
+		{Sender: geom.Point{X: 1e5, Y: 0}, Receiver: geom.Point{X: 1e5 + 10, Y: 0}, Rate: 4},
+	}
+	pr := MustNewProblem(network.MustNewLinkSet(links), radio.DefaultParams())
+	if got := NewSchedule("", []int{0, 1}).Throughput(pr); got != 6.5 {
+		t.Errorf("throughput = %v, want 6.5", got)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := NewSchedule("rle", []int{0, 1, 2})
+	if got := s.String(); got != "rle: 3 links {0,1,2}" {
+		t.Errorf("String = %q", got)
+	}
+	long := make([]int, 20)
+	for i := range long {
+		long[i] = i
+	}
+	if got := NewSchedule("x", long).String(); len(got) > 80 {
+		t.Errorf("long schedule string not truncated: %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"ldp", "ldp-banded", "rle", "approxlogn", "approxdiversity", "greedy", "exact", "dls"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("algorithm %q not registered (have %v)", want, names)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup found unregistered name")
+	}
+	if err := Register(Greedy{}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestConstantsHandComputed(t *testing.T) {
+	p := radio.DefaultParams() // α=3, γ_th=1, ε=0.01
+	zeta2 := math.Pi * math.Pi / 6
+	ge := -math.Log1p(-0.01)
+	wantBeta := math.Pow(8*zeta2/ge, 1.0/3)
+	if got := LDPBeta(p); math.Abs(got-wantBeta)/wantBeta > 1e-12 {
+		t.Errorf("LDPBeta = %v, want %v", got, wantBeta)
+	}
+	wantDet := math.Pow(8*zeta2, 1.0/3)
+	if got := DeterministicBeta(p); math.Abs(got-wantDet)/wantDet > 1e-12 {
+		t.Errorf("DeterministicBeta = %v, want %v", got, wantDet)
+	}
+	wantC1 := math.Sqrt2*math.Pow(12*zeta2/(ge*0.5), 1.0/3) + 1
+	if got := RLEC1(p, 0.5); math.Abs(got-wantC1)/wantC1 > 1e-12 {
+		t.Errorf("RLEC1 = %v, want %v", got, wantC1)
+	}
+	wantC1Det := math.Sqrt2*math.Pow(12*zeta2/0.5, 1.0/3) + 1
+	if got := DeterministicC1(p, 0.5); math.Abs(got-wantC1Det)/wantC1Det > 1e-12 {
+		t.Errorf("DeterministicC1 = %v, want %v", got, wantC1Det)
+	}
+	if got := LDPApproximationBound(3); got != 48 {
+		t.Errorf("LDP bound = %v, want 48", got)
+	}
+	wantRLE := math.Pow(3, 3)*5*0.01/(0.5*0.99*1) + 1
+	if got := RLEApproximationBound(p, 0.5); math.Abs(got-wantRLE) > 1e-12 {
+		t.Errorf("RLE bound = %v, want %v", got, wantRLE)
+	}
+}
+
+func TestFadingBetaExceedsDeterministic(t *testing.T) {
+	// The fading constant must be larger (≈ (1/γ_ε)^{1/α} factor): this
+	// asymmetry IS the paper's story — fading-resistant schedules are
+	// sparser.
+	for _, alpha := range []float64{2.5, 3, 3.5, 4, 4.5} {
+		p := radio.DefaultParams()
+		p.Alpha = alpha
+		if LDPBeta(p) <= DeterministicBeta(p) {
+			t.Errorf("α=%v: LDPBeta %v ≤ DeterministicBeta %v", alpha, LDPBeta(p), DeterministicBeta(p))
+		}
+		if RLEC1(p, 0.5) <= DeterministicC1(p, 0.5) {
+			t.Errorf("α=%v: RLEC1 %v ≤ DeterministicC1 %v", alpha, RLEC1(p, 0.5), DeterministicC1(p, 0.5))
+		}
+	}
+}
+
+func TestConstantsShrinkWithAlpha(t *testing.T) {
+	// Fig. 6(b)'s explanation: higher α ⇒ smaller squares/radii ⇒ more
+	// concurrent links. Check the monotonicity that drives it.
+	p := radio.DefaultParams()
+	prevBeta, prevC1 := math.Inf(1), math.Inf(1)
+	for _, alpha := range []float64{2.5, 3, 3.5, 4, 4.5} {
+		p.Alpha = alpha
+		b, c := LDPBeta(p), RLEC1(p, 0.5)
+		if b >= prevBeta || c >= prevC1 {
+			t.Errorf("constants not decreasing at α=%v (β %v→%v, c₁ %v→%v)",
+				alpha, prevBeta, b, prevC1, c)
+		}
+		prevBeta, prevC1 = b, c
+	}
+}

@@ -1,0 +1,18 @@
+// Package simnet is a discrete-time traffic simulator layered on the
+// scheduler: packets arrive at each link's sender queue, every slot the
+// configured one-slot algorithm schedules a subset of the backlogged
+// links, and each scheduled transmission succeeds or fails according to
+// a live Rayleigh fading draw. Failed packets stay queued and are
+// retransmitted (head-of-line).
+//
+// This is the system-level consequence of the paper's one-slot
+// guarantee: a fading-aware scheduler turns its per-slot success
+// probability 1−ε into end-to-end goodput and bounded retransmission
+// delay, while a deterministic-SINR scheduler leaks a constant fraction
+// of every slot's transmissions into retransmissions.
+//
+// The simulation is single-threaded and deterministic for a given
+// (problem, config) pair; replications parallelize naturally across
+// goroutines in the caller (each replication is one Run call with its
+// own seed).
+package simnet

@@ -1,0 +1,201 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+)
+
+// Config drives one traffic simulation.
+type Config struct {
+	// Slots is the simulated horizon (> 0).
+	Slots int
+	// ArrivalProb is the per-link, per-slot Bernoulli packet arrival
+	// probability in [0, 1].
+	ArrivalProb float64
+	// QueueCap bounds each link's queue; arrivals beyond it are
+	// dropped. 0 means unbounded.
+	QueueCap int
+	// Scheduler is the one-slot algorithm invoked on the backlogged
+	// links each slot.
+	Scheduler sched.Algorithm
+	// Seed drives arrivals and fading draws.
+	Seed uint64
+	// NoFading disables the channel draw: every scheduled transmission
+	// succeeds. Isolates queueing effects from channel effects in
+	// ablations.
+	NoFading bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Slots <= 0:
+		return fmt.Errorf("simnet: slots = %d, need > 0", c.Slots)
+	case c.ArrivalProb < 0 || c.ArrivalProb > 1:
+		return fmt.Errorf("simnet: arrival probability %v outside [0,1]", c.ArrivalProb)
+	case c.QueueCap < 0:
+		return fmt.Errorf("simnet: queue capacity %d, need ≥ 0", c.QueueCap)
+	case c.Scheduler == nil:
+		return fmt.Errorf("simnet: nil scheduler")
+	}
+	return nil
+}
+
+// Result summarizes a traffic simulation.
+type Result struct {
+	// Arrived, Delivered, Dropped count packets; FailedTx counts
+	// transmission attempts lost to fading (the packet stays queued).
+	Arrived, Delivered, Dropped, FailedTx int64
+	// Backlog is the number of packets still queued at the horizon.
+	Backlog int64
+	// Delay summarizes per-delivered-packet delay in slots (arrival
+	// slot to delivery slot, inclusive of the transmission slot).
+	Delay stats.Summary
+	// DelaySamples retains every delivered packet's delay so callers
+	// can compute quantiles (stats.Quantile); nil when nothing was
+	// delivered.
+	DelaySamples []float64
+	// PerSlotDelivered summarizes deliveries per slot (the goodput
+	// series).
+	PerSlotDelivered stats.Summary
+	// Attempts counts scheduled transmissions (delivered + failed).
+	Attempts int64
+}
+
+// LossRate returns FailedTx / Attempts (0 when idle).
+func (r Result) LossRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.FailedTx) / float64(r.Attempts)
+}
+
+// Run simulates cfg.Slots slots of traffic over the problem's links.
+func Run(pr *sched.Problem, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := pr.N()
+	var res Result
+	// queues[i] holds arrival slots of waiting packets, FIFO.
+	queues := make([][]int, n)
+	arrivalSrc := rng.Stream(cfg.Seed, "simnet-arrivals", 0)
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		// 1. Arrivals.
+		for i := 0; i < n; i++ {
+			if arrivalSrc.Float64() < cfg.ArrivalProb {
+				res.Arrived++
+				if cfg.QueueCap > 0 && len(queues[i]) >= cfg.QueueCap {
+					res.Dropped++
+					continue
+				}
+				queues[i] = append(queues[i], slot)
+			}
+		}
+
+		// 2. Schedule the backlogged links.
+		var backlogged []int
+		for i := 0; i < n; i++ {
+			if len(queues[i]) > 0 {
+				backlogged = append(backlogged, i)
+			}
+		}
+		if len(backlogged) == 0 {
+			res.PerSlotDelivered.Add(0)
+			continue
+		}
+		active, err := scheduleSubset(pr, cfg.Scheduler, backlogged)
+		if err != nil {
+			return Result{}, err
+		}
+		if len(active) == 0 {
+			res.PerSlotDelivered.Add(0)
+			continue
+		}
+
+		// 3. Transmit with a live fading draw shared by the slot.
+		success := transmit(pr, active, cfg, slot)
+		delivered := 0
+		for k, i := range active {
+			res.Attempts++
+			if success[k] {
+				arrivedAt := queues[i][0]
+				queues[i] = queues[i][1:]
+				res.Delivered++
+				delivered++
+				d := float64(slot - arrivedAt + 1)
+				res.Delay.Add(d)
+				res.DelaySamples = append(res.DelaySamples, d)
+			} else {
+				res.FailedTx++
+			}
+		}
+		res.PerSlotDelivered.Add(float64(delivered))
+	}
+	for i := 0; i < n; i++ {
+		res.Backlog += int64(len(queues[i]))
+	}
+	return res, nil
+}
+
+// scheduleSubset runs the one-slot scheduler on the backlogged
+// sub-instance and maps the result back to original indices.
+func scheduleSubset(pr *sched.Problem, algo sched.Algorithm, idxs []int) ([]int, error) {
+	if len(idxs) == pr.N() {
+		s := algo.Schedule(pr)
+		return s.Active, nil
+	}
+	links := make([]network.Link, len(idxs))
+	for k, i := range idxs {
+		links[k] = pr.Links.Link(i)
+	}
+	ls, err := network.NewLinkSet(links)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: backlog sub-instance: %w", err)
+	}
+	sub, err := sched.NewProblem(ls, pr.Params)
+	if err != nil {
+		return nil, err
+	}
+	s := algo.Schedule(sub)
+	out := make([]int, 0, s.Len())
+	for _, k := range s.Active {
+		out = append(out, idxs[k])
+	}
+	return out, nil
+}
+
+// transmit draws one fading realization for the active set and returns
+// each active link's success, indexed like active.
+func transmit(pr *sched.Problem, active []int, cfg Config, slot int) []bool {
+	out := make([]bool, len(active))
+	if cfg.NoFading {
+		for k := range out {
+			out[k] = true
+		}
+		return out
+	}
+	src := rng.Stream(cfg.Seed, "simnet-channel", uint64(slot))
+	m := len(active)
+	gains := make([]float64, m)
+	for j := 0; j < m; j++ {
+		rj := active[j]
+		for i := 0; i < m; i++ {
+			mean := pr.Params.MeanGainP(pr.PowerOf(active[i]), pr.Links.Dist(active[i], rj))
+			gains[i] = src.Exp(mean)
+		}
+		den := pr.Params.N0
+		for i := 0; i < m; i++ {
+			if i != j {
+				den += gains[i]
+			}
+		}
+		out[j] = den == 0 || gains[j]/den >= pr.Params.GammaTh
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/sched"
+)
+
+func trafficProblem(t testing.TB, n int, seed uint64) *sched.Problem {
+	t.Helper()
+	ls, err := network.Generate(network.PaperConfig(n), seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.MustNewProblem(ls, radio.DefaultParams())
+}
+
+func TestRunValidation(t *testing.T) {
+	pr := trafficProblem(t, 10, 1)
+	bad := []Config{
+		{Slots: 0, ArrivalProb: 0.1, Scheduler: sched.RLE{}},
+		{Slots: 10, ArrivalProb: -0.1, Scheduler: sched.RLE{}},
+		{Slots: 10, ArrivalProb: 1.1, Scheduler: sched.RLE{}},
+		{Slots: 10, ArrivalProb: 0.1, QueueCap: -1, Scheduler: sched.RLE{}},
+		{Slots: 10, ArrivalProb: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(pr, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	pr := trafficProblem(t, 60, 3)
+	res, err := Run(pr, Config{
+		Slots: 200, ArrivalProb: 0.08, Scheduler: sched.RLE{}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 {
+		t.Fatal("no arrivals at p=0.08 over 200 slots")
+	}
+	if got := res.Delivered + res.Dropped + res.Backlog; got != res.Arrived {
+		t.Errorf("conservation broken: delivered %d + dropped %d + backlog %d != arrived %d",
+			res.Delivered, res.Dropped, res.Backlog, res.Arrived)
+	}
+	if res.Attempts != res.Delivered+res.FailedTx {
+		t.Errorf("attempts %d != delivered %d + failed %d", res.Attempts, res.Delivered, res.FailedTx)
+	}
+}
+
+func TestZeroArrivalsIdle(t *testing.T) {
+	pr := trafficProblem(t, 20, 1)
+	res, err := Run(pr, Config{Slots: 50, ArrivalProb: 0, Scheduler: sched.RLE{}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != 0 || res.Attempts != 0 || res.Backlog != 0 {
+		t.Errorf("idle network moved packets: %+v", res)
+	}
+	if res.PerSlotDelivered.N() != 50 {
+		t.Errorf("per-slot series has %d entries", res.PerSlotDelivered.N())
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	// Arrival probability 1 with a tiny queue on a congested network
+	// must drop.
+	pr := trafficProblem(t, 80, 5)
+	res, err := Run(pr, Config{
+		Slots: 60, ArrivalProb: 1, QueueCap: 3, Scheduler: sched.LDP{}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Error("saturated 3-deep queues dropped nothing")
+	}
+	if res.Backlog > int64(3*pr.N()) {
+		t.Errorf("backlog %d exceeds total queue capacity %d", res.Backlog, 3*pr.N())
+	}
+}
+
+func TestFadingAwareLossNearEpsilon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	pr := trafficProblem(t, 100, 7)
+	res, err := Run(pr, Config{
+		Slots: 400, ArrivalProb: 0.05, Scheduler: sched.RLE{}, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 500 {
+		t.Fatalf("too few attempts (%d) to measure loss", res.Attempts)
+	}
+	// Each attempt fails with probability ≤ ε = 0.01; allow 3× for
+	// sampling noise.
+	if lr := res.LossRate(); lr > 0.03 {
+		t.Errorf("fading-aware loss rate %v ≫ ε", lr)
+	}
+}
+
+func TestBaselineLosesMorePacketsThanRLE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	pr := trafficProblem(t, 150, 9)
+	cfg := Config{Slots: 300, ArrivalProb: 0.1, Seed: 5}
+	cfg.Scheduler = sched.RLE{}
+	aware, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler = sched.ApproxDiversity{}
+	base, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LossRate() <= aware.LossRate() {
+		t.Errorf("baseline loss %v not above fading-aware loss %v", base.LossRate(), aware.LossRate())
+	}
+}
+
+func TestNoFadingDeliversEverythingScheduled(t *testing.T) {
+	pr := trafficProblem(t, 60, 2)
+	res, err := Run(pr, Config{
+		Slots: 150, ArrivalProb: 0.06, Scheduler: sched.RLE{}, Seed: 6, NoFading: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedTx != 0 {
+		t.Errorf("NoFading lost %d transmissions", res.FailedTx)
+	}
+	if res.Delivered != res.Attempts {
+		t.Errorf("delivered %d != attempts %d without fading", res.Delivered, res.Attempts)
+	}
+}
+
+func TestDelayGrowsWithLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	pr := trafficProblem(t, 100, 11)
+	mk := func(p float64) Result {
+		res, err := Run(pr, Config{Slots: 300, ArrivalProb: p, Scheduler: sched.RLE{}, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	light, heavy := mk(0.01), mk(0.2)
+	if light.Delay.N() == 0 || heavy.Delay.N() == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	if heavy.Delay.Mean() <= light.Delay.Mean() {
+		t.Errorf("delay did not grow with load: light %v, heavy %v",
+			light.Delay.Mean(), heavy.Delay.Mean())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	pr := trafficProblem(t, 50, 13)
+	cfg := Config{Slots: 100, ArrivalProb: 0.1, Scheduler: sched.Greedy{}, Seed: 8}
+	a, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(pr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.FailedTx != b.FailedTx ||
+		a.Backlog != b.Backlog || a.Delay != b.Delay ||
+		a.PerSlotDelivered != b.PerSlotDelivered {
+		t.Errorf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a.DelaySamples) != int(a.Delay.N()) {
+		t.Errorf("retained %d delay samples for %d deliveries", len(a.DelaySamples), a.Delay.N())
+	}
+}
+
+func BenchmarkRunRLE100(b *testing.B) {
+	pr := trafficProblem(b, 100, 1)
+	cfg := Config{Slots: 50, ArrivalProb: 0.1, Scheduler: sched.RLE{}, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(pr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+// Package stats provides the summary statistics the experiment harness
+// reports: means, standard errors, normal-approximation confidence
+// intervals, and fixed-width histograms. It exists so that every figure
+// in EXPERIMENTS.md carries an uncertainty estimate instead of a bare
+// point value — the paper omits error bars, which makes shape
+// comparisons otherwise ambiguous.
+package stats

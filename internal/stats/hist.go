@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+// Observations outside the range are clamped into the edge buckets so
+// no sample is silently dropped (the underflow/overflow counts remain
+// inspectable via Under/Over).
+type Histogram struct {
+	Lo, Hi float64
+	counts []int64
+	under  int64
+	over   int64
+}
+
+// NewHistogram allocates a histogram with n buckets over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats.NewHistogram: invalid range [%v,%v) with %d buckets", lo, hi, n))
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.under++
+		h.counts[0]++
+	case x >= h.Hi:
+		h.over++
+		h.counts[len(h.counts)-1]++
+	default:
+		i := int(float64(len(h.counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.counts) { // x infinitesimally below Hi after rounding
+			i--
+		}
+		h.counts[i]++
+	}
+}
+
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []int64 {
+	return append([]int64(nil), h.counts...)
+}
+
+// Under and Over return the number of clamped observations.
+func (h *Histogram) Under() int64 { return h.under }
+func (h *Histogram) Over() int64  { return h.over }
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Render draws a unicode bar chart of the histogram, one line per
+// bucket, scaled so the fullest bucket spans width cells. Used by the
+// validate example and debugging output.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var peak int64 = 1
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	step := (h.Hi - h.Lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		lo := h.Lo + float64(i)*step
+		bar := strings.Repeat("█", int(int64(width)*c/peak))
+		fmt.Fprintf(&b, "%10.3g | %-*s %d\n", lo, width, bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 4, 6, 8, 9.99} {
+		h.Add(x)
+	}
+	// Buckets of width 2 over [0,10): {0,1.9}, {2}, {4}, {6}, {8,9.99}.
+	want := []int64{2, 1, 1, 1, 2}
+	got := h.Counts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-5)
+	h.Add(2)
+	h.Add(1) // exactly Hi → overflow bucket by half-open convention
+	if h.Under() != 1 {
+		t.Errorf("under = %d, want 1", h.Under())
+	}
+	if h.Over() != 2 {
+		t.Errorf("over = %d, want 2", h.Over())
+	}
+	if h.Total() != 3 {
+		t.Errorf("clamped observations missing: total = %d", h.Total())
+	}
+	c := h.Counts()
+	if c[0] != 1 || c[3] != 2 {
+		t.Errorf("clamps landed in wrong buckets: %v", c)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1.5)
+	h.Add(3)
+	out := h.Render(10)
+	if !strings.Contains(out, "█") {
+		t.Error("render contains no bars")
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render has %d lines, want 2", lines)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 1, 0}, {1, 1, 4}, {2, 1, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}

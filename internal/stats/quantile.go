@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7 estimator, the
+// default of R/NumPy). It panics on an empty sample or q outside
+// [0,1]: a silent NaN in a latency report hides a harness bug.
+//
+// xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats.Quantile: empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats.Quantile: q = %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns several quantiles of xs with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats.Quantiles: empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 || math.IsNaN(q) {
+			panic(fmt.Sprintf("stats.Quantiles: q = %v outside [0,1]", q))
+		}
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median is Quantile(xs, 0.5).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }

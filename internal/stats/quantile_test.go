@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{0.25, 2},
+		{0.5, 3},
+		{0.75, 4},
+		{1, 5},
+		{0.1, 1.4}, // interpolated: pos 0.4 between 1 and 2
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileUnsortedInputUnmodified(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := Median(xs); got != 3 {
+		t.Errorf("median of shuffled input = %v", got)
+	}
+	if xs[0] != 5 || xs[4] != 3 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestQuantileSingleAndPair(t *testing.T) {
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+	if got := Quantile([]float64{1, 3}, 0.5); got != 2 {
+		t.Errorf("pair median = %v, want 2", got)
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	got := Quantiles(xs, 0, 0.5, 1)
+	want := []float64{10, 25, 40}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Quantile([]float64{1}, math.NaN()) },
+		func() { Quantiles(nil, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	f := func(seed uint64) bool {
+		rngSrc := rand.New(rand.NewPCG(seed, 41))
+		xs := make([]float64, 30+rngSrc.IntN(50))
+		for i := range xs {
+			xs[i] = rngSrc.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.05 {
+			qq := math.Min(q, 1)
+			v := Quantile(xs, qq)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileBracketsSample(t *testing.T) {
+	f := func(seed uint64, qRaw uint8) bool {
+		rngSrc := rand.New(rand.NewPCG(seed, 43))
+		xs := make([]float64, 1+rngSrc.IntN(40))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rngSrc.Float64()*200 - 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		q := float64(qRaw) / 255
+		v := Quantile(xs, q)
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

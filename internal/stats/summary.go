@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Summary holds streaming moments of a sample via Welford's algorithm,
+// which is numerically stable for the long Monte-Carlo accumulations
+// the harness performs. The zero value is an empty summary.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		s.min = math.Min(s.min, x)
+		s.max = math.Max(s.max, x)
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another summary into s (parallel reduction; Chan et al.).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.n), float64(o.n)
+	delta := o.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.n += o.n
+	s.min = math.Min(s.min, o.min)
+	s.max = math.Max(s.max, o.max)
+}
+
+// N returns the number of observations.
+func (s Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (NaN when empty).
+func (s Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance (NaN for n < 2).
+func (s Summary) Variance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (s Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Min and Max return the extrema (NaN when empty).
+func (s Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+func (s Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval for the mean.
+func (s Summary) CI95() float64 {
+	const z95 = 1.959963984540054
+	return z95 * s.StdErr()
+}
+
+// String renders "mean ± ci95 (n=..)".
+func (s Summary) String() string {
+	if s.n == 0 {
+		return "empty"
+	}
+	if s.n == 1 {
+		return fmt.Sprintf("%.4g (n=1)", s.mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean(), s.CI95(), s.n)
+}
+
+// Mean returns the compensated arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return mathx.SumCompensated(xs) / float64(len(xs))
+}
+
+// Summarize builds a Summary from a slice in one pass.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}

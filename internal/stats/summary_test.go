@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasicMoments(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if got, want := s.Variance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("extrema = (%v,%v), want (2,9)", s.Min(), s.Max())
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Variance()) || !math.IsNaN(s.Min()) {
+		t.Error("empty summary must report NaN moments")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Error("single-observation summary wrong")
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Error("variance of one observation must be NaN")
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(seed uint64, cut uint8) bool {
+		rngSrc := rand.New(rand.NewPCG(seed, 21))
+		n := 50 + int(cut)%50
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rngSrc.NormFloat64()*10 + 5
+		}
+		k := int(cut) % n
+		var a, b, whole Summary
+		for _, x := range xs[:k] {
+			a.Add(x)
+		}
+		for _, x := range xs[k:] {
+			b.Add(x)
+		}
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-10 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-8 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMergeWithEmpty(t *testing.T) {
+	var empty, s Summary
+	s.Add(1)
+	s.Add(2)
+	before := s
+	s.Merge(empty)
+	if s != before {
+		t.Error("merging empty changed the summary")
+	}
+	empty.Merge(s)
+	if empty.Mean() != 1.5 || empty.N() != 2 {
+		t.Error("merging into empty failed")
+	}
+}
+
+func TestSummaryStdErrAndCI(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 2)) // variance = p(1-p)·n/(n-1) ≈ 0.2525
+	}
+	wantSE := s.StdDev() / 10
+	if got := s.StdErr(); math.Abs(got-wantSE) > 1e-12 {
+		t.Errorf("stderr = %v, want %v", got, wantSE)
+	}
+	if got := s.CI95(); math.Abs(got-1.959963984540054*wantSE) > 1e-12 {
+		t.Errorf("CI95 = %v", got)
+	}
+}
+
+func TestSummaryNumericallyStableOffset(t *testing.T) {
+	// Welford must survive a huge common offset that destroys the
+	// naive sum-of-squares formula.
+	var s Summary
+	base := 1e9
+	for _, d := range []float64{4, 7, 13, 16} {
+		s.Add(base + d)
+	}
+	if got, want := s.Variance(), 30.0; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("offset variance = %v, want %v", got, want)
+	}
+}
+
+func TestMeanSlice(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	if s.String() != "empty" {
+		t.Errorf("empty String = %q", s.String())
+	}
+	s.Add(2)
+	if got := s.String(); got != "2 (n=1)" {
+		t.Errorf("single String = %q", got)
+	}
+	s.Add(4)
+	if got := s.String(); got == "" {
+		t.Error("two-sample String empty")
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+	if s.N() != int64(b.N) {
+		b.Fatal("count mismatch")
+	}
+}

@@ -1,0 +1,28 @@
+package fadingrls
+
+// Re-exports of the NP-hardness machinery (Theorem 3.2): the knapsack
+// solver and the executable reduction from knapsack to Fading-R-LS.
+
+import "repro/internal/knapsack"
+
+type (
+	// KnapsackItem is one 0/1-knapsack item.
+	KnapsackItem = knapsack.Item
+	// KnapsackInstance is a knapsack input.
+	KnapsackInstance = knapsack.Instance
+	// Reduction is the Theorem 3.2 embedding of a knapsack instance
+	// into a Fading-R-LS instance.
+	Reduction = knapsack.Reduction
+)
+
+// SolveKnapsack returns the optimal value and chosen item indices via
+// the exact O(n·W) dynamic program.
+func SolveKnapsack(in KnapsackInstance) (float64, []int, error) {
+	return knapsack.Solve(in)
+}
+
+// ReduceKnapsack builds the Theorem 3.2 scheduling instance whose
+// optimal throughput equals 2·Σvalues + the knapsack optimum.
+func ReduceKnapsack(in KnapsackInstance, p Params) (*Reduction, error) {
+	return knapsack.Reduce(in, p)
+}
