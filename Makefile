@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check test test-full bench build fmt vet fuzz
+
+## check: formatting + vet + build + race-enabled test suite (the gate)
+check:
+	sh scripts/check.sh
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: fast suite (skips the 20000-link scale test)
+test:
+	$(GO) test -short ./...
+
+## test-full: everything, including the large sparse scale test
+test-full:
+	$(GO) test ./...
+
+## bench: interference-backend construction/scheduling benchmarks
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
+
+## fuzz: a short fuzzing pass over the sparse-safety and decoder targets
+fuzz:
+	$(GO) test -fuzz FuzzSparseNeverOverAdmits -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/network/
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...

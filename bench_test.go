@@ -14,6 +14,8 @@ package fadingrls_test
 //   - the ratio bench reports the worst observed OPT/RLE.
 
 import (
+	"fmt"
+	"math"
 	"testing"
 
 	fadingrls "repro"
@@ -199,6 +201,86 @@ func BenchmarkTableHDiversity(b *testing.B) {
 	last := len(tab.X) - 1
 	b.ReportMetric(tab.Cell("ldp", last).Mean(), "ldp@6oct")
 	b.ReportMetric(tab.Cell("gL", last).Mean(), "gL@6oct")
+}
+
+// benchLinks generates an instance at the paper's deployment density
+// (300 links per 500×500): the region scales with √n so per-receiver
+// interference neighborhoods stay constant and backend costs compare
+// like-for-like across sizes.
+func benchLinks(b *testing.B, n int) *fadingrls.LinkSet {
+	b.Helper()
+	cfg := fadingrls.PaperConfig(n)
+	cfg.Region = 500 * math.Sqrt(float64(n)/300)
+	ls, err := fadingrls.Generate(cfg, 42, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ls
+}
+
+var fieldBackends = []struct {
+	name string
+	opt  func() fadingrls.ProblemOption
+}{
+	{"dense", fadingrls.WithDenseField},
+	{"sparse", func() fadingrls.ProblemOption {
+		return fadingrls.WithSparseField(fadingrls.SparseOptions{})
+	}},
+}
+
+// BenchmarkNewProblem measures interference-field construction alone:
+// the dense backend is Θ(n²) factor evaluations, the sparse one is
+// output-sensitive in the number of stored near-field pairs.
+func BenchmarkNewProblem(b *testing.B) {
+	p := fadingrls.DefaultParams()
+	for _, n := range []int{300, 1000, 5000} {
+		ls := benchLinks(b, n)
+		for _, bk := range fieldBackends {
+			b.Run(fmt.Sprintf("%s/n=%d", bk.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := fadingrls.NewProblem(ls, p, bk.opt()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFieldBackends measures the end-to-end pipeline each backend
+// feeds — construction, a Greedy schedule, and verification — and
+// reports the scheduled link count so the sparse backend's throughput
+// cost is visible next to its speed. Both path-loss regimes are
+// covered: at the paper's α = 3 the far field decays too slowly for
+// truncation to bite (the truncation radius spans the deployment, and
+// the tail charge displaces marginal links from budget-saturated
+// receivers), so dense wins; at α = 4.5 the near field is genuinely
+// local and sparse is the backend that scales.
+func BenchmarkFieldBackends(b *testing.B) {
+	for _, alpha := range []float64{3, 4.5} {
+		p := fadingrls.DefaultParams()
+		p.Alpha = alpha
+		for _, n := range []int{300, 1000, 5000} {
+			ls := benchLinks(b, n)
+			for _, bk := range fieldBackends {
+				b.Run(fmt.Sprintf("%s/a%g/n=%d", bk.name, alpha, n), func(b *testing.B) {
+					var links int
+					for i := 0; i < b.N; i++ {
+						pr, err := fadingrls.NewProblem(ls, p, bk.opt())
+						if err != nil {
+							b.Fatal(err)
+						}
+						s := fadingrls.Greedy{}.Schedule(pr)
+						if v := fadingrls.Verify(pr, s); len(v) != 0 {
+							b.Fatalf("infeasible schedule: %v", v[0])
+						}
+						links = s.Len()
+					}
+					b.ReportMetric(float64(links), "links")
+				})
+			}
+		}
+	}
 }
 
 func maxMean(tab *fadingrls.ResultTable, xi int, series ...string) float64 {

@@ -41,12 +41,21 @@ func run(args []string, out io.Writer) error {
 		csvDir    = fs.String("csv", "", "also write <id>.csv files into this directory")
 		chart     = fs.Bool("plot", false, "also draw each table as an ASCII chart")
 		trials    = fs.Int("trials", 0, "Monte-Carlo trials per thm31 row (0 = 100000)")
+		field     = fs.String("field", "dense", "interference backend for every sweep problem: dense or sparse")
+		cutoff    = fs.Float64("cutoff", 0, "sparse backend truncation cutoff (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := fadingrls.ExperimentOptions{Seed: *seed, Instances: *instances, Slots: *slots}
+	fieldOpt, err := fadingrls.FieldOption(*field, *cutoff)
+	if err != nil {
+		return err
+	}
+	opts := fadingrls.ExperimentOptions{
+		Seed: *seed, Instances: *instances, Slots: *slots,
+		FieldOptions: []fadingrls.ProblemOption{fieldOpt},
+	}
 	specs := fadingrls.Experiments()
 
 	custom := map[string]bool{"ratio": true, "thm31": true, "multislot": true, "traffic": true, "staleness": true, "diversity": true}

@@ -48,6 +48,9 @@ func run(args []string, out io.Writer) error {
 		algos = fs.String("algo", "ldp,rle", "comma-separated algorithms, or 'all'")
 		slots = fs.Int("slots", 0, "Monte-Carlo slots for failure measurement (0 = skip)")
 
+		field  = fs.String("field", "dense", "interference backend: dense (exact n×n matrix) or sparse (truncated near field, scales past the matrix)")
+		cutoff = fs.Float64("cutoff", 0, "sparse backend truncation cutoff (smallest stored factor; 0 = default fraction of gamma_eps)")
+
 		load = fs.String("load", "", "load instance JSON instead of generating")
 		save = fs.String("save", "", "save the instance JSON and exit")
 	)
@@ -96,15 +99,19 @@ func run(args []string, out io.Writer) error {
 	params.Alpha = *alpha
 	params.GammaTh = *gamma
 	params.Eps = *eps
-	pr, err := fadingrls.NewProblem(ls, params)
+	fieldOpt, err := fadingrls.FieldOption(*field, *cutoff)
+	if err != nil {
+		return err
+	}
+	pr, err := fadingrls.NewProblem(ls, params, fieldOpt)
 	if err != nil {
 		return err
 	}
 	delta, _ := ls.MinLength()
 	fmt.Fprintf(out, "instance: %d links, lengths [%.3g, %.3g], g(L) = %d\n",
 		ls.Len(), delta, ls.MaxLength(), ls.Diversity())
-	fmt.Fprintf(out, "model: alpha=%g gamma_th=%g eps=%g (gamma_eps=%.5g)\n\n",
-		params.Alpha, params.GammaTh, params.Eps, params.GammaEps())
+	fmt.Fprintf(out, "model: alpha=%g gamma_th=%g eps=%g (gamma_eps=%.5g) field=%s\n\n",
+		params.Alpha, params.GammaTh, params.Eps, params.GammaEps(), pr.FieldName())
 
 	names := strings.Split(*algos, ",")
 	if *algos == "all" {

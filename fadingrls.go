@@ -85,6 +85,21 @@ type (
 	DLS = sched.DLS
 	// ILP is the big-M matrix form of the problem (Eqs. 20–22).
 	ILP = sched.ILP
+
+	// InterferenceField is the pluggable interference backend every
+	// scheduler and the verifier read through.
+	InterferenceField = sched.InterferenceField
+	// ProblemOption selects a NewProblem interference backend.
+	ProblemOption = sched.Option
+	// SparseOptions configures the sparse (truncated) backend.
+	SparseOptions = sched.SparseOptions
+	// DenseField is the exact n×n matrix backend.
+	DenseField = sched.DenseField
+	// SparseField is the grid-indexed near-field backend with a
+	// conservative far-field tail bound.
+	SparseField = sched.SparseField
+	// Accum is the incremental per-receiver feasibility accumulator.
+	Accum = sched.Accum
 )
 
 // Simulation.
@@ -123,8 +138,36 @@ func NewLinkSet(links []Link) (*LinkSet, error) { return network.NewLinkSet(link
 // LinkSet.Write, revalidating every link.
 func ReadLinkSet(r io.Reader) (*LinkSet, error) { return network.Read(r) }
 
-// NewProblem validates parameters and precomputes interference factors.
-func NewProblem(ls *LinkSet, p Params) (*Problem, error) { return sched.NewProblem(ls, p) }
+// NewProblem validates parameters and constructs the interference
+// field. With no options it builds the exact dense factor matrix (in
+// parallel); pass WithSparseField to scale to instances where the n²
+// matrix no longer fits, trading a bounded, conservative-only
+// truncation error.
+func NewProblem(ls *LinkSet, p Params, opts ...ProblemOption) (*Problem, error) {
+	return sched.NewProblem(ls, p, opts...)
+}
+
+// WithDenseField selects the exact dense matrix backend (the default).
+func WithDenseField() ProblemOption { return sched.WithDenseField() }
+
+// WithSparseField selects the truncated near-field backend: only
+// factors above the cutoff are stored; the far field is charged a
+// provable per-unit-power tail bound, so feasibility answers are
+// conservative-only (never optimistic).
+func WithSparseField(o SparseOptions) ProblemOption { return sched.WithSparseField(o) }
+
+// FieldOption resolves a backend by name ("dense" or "sparse"), the
+// form CLI flags arrive in; cutoff applies to sparse only (0 =
+// default).
+func FieldOption(name string, cutoff float64) (ProblemOption, error) {
+	return sched.FieldOption(name, cutoff)
+}
+
+// NewAccum returns an incremental feasibility accumulator over the
+// problem's interference field, preloaded with each receiver's noise
+// term: AddLink/RemoveLink maintain every receiver's conservative
+// load, Headroom(j) is the remaining γ_ε budget.
+func NewAccum(pr *Problem) *Accum { return sched.NewAccum(pr) }
 
 // Verify independently re-checks a schedule against Corollary 3.1,
 // returning all violated receivers (empty ⇒ feasible).

@@ -119,8 +119,11 @@ func TestBuildILPThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	ilp := fadingrls.BuildILP(pr)
-	if len(ilp.Rates) != 10 || len(ilp.F) != 10 {
-		t.Errorf("ILP dims wrong: %d rates, %d rows", len(ilp.Rates), len(ilp.F))
+	if len(ilp.Rates) != 10 || ilp.Field == nil || ilp.Field.N() != 10 {
+		t.Errorf("ILP dims wrong: %d rates, field %v", len(ilp.Rates), ilp.Field)
+	}
+	if ilp.Coeff(0, 1) <= 0 {
+		t.Error("ILP coefficient read-through broken: Coeff(0,1) not positive")
 	}
 	if ilp.M <= ilp.GammaEps {
 		t.Error("big-M not dominating")

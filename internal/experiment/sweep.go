@@ -24,6 +24,10 @@ type Options struct {
 	Slots int
 	// Workers bounds the parallel fan-out; zero means GOMAXPROCS.
 	Workers int
+	// FieldOptions selects the interference backend for every Problem
+	// the sweep builds (nil = dense default); lets large-n sweeps run
+	// on the sparse field.
+	FieldOptions []sched.Option
 }
 
 func (o Options) withDefaults() Options {
@@ -124,7 +128,7 @@ func Run(spec Spec, opts Options) (*Table, error) {
 					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
 					continue
 				}
-				pr, err := sched.NewProblem(ls, params)
+				pr, err := sched.NewProblem(ls, params, opts.FieldOptions...)
 				if err != nil {
 					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
 					continue

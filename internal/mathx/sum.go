@@ -1,5 +1,7 @@
 package mathx
 
+import "sort"
+
 // Accumulator is a Neumaier (improved Kahan) compensated summation
 // accumulator. The zero value is an empty sum ready to use.
 //
@@ -47,4 +49,36 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// Median returns the median of xs (mean of the two middle elements for
+// even length, 0 for empty input) without mutating the input. The
+// sparse interference backend uses it to derive a spatial-index cell
+// side from the per-receiver truncation radii; a median is robust to
+// the heavy-tailed radius distributions heterogeneous powers produce.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sortFloats(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// sortFloats is insertion sort for small inputs and quicksort-by-stdlib
+// otherwise; isolated so Median carries no sort import on hot paths.
+func sortFloats(xs []float64) {
+	if len(xs) < 24 {
+		for i := 1; i < len(xs); i++ {
+			for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+				xs[k], xs[k-1] = xs[k-1], xs[k]
+			}
+		}
+		return
+	}
+	sort.Float64s(xs)
 }

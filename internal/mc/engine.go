@@ -81,6 +81,12 @@ func Simulate(pr *sched.Problem, s sched.Schedule, cfg Config) (Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	m := s.Len()
+	// Expected reads through the problem's interference field: exact on
+	// the dense backend, a (slightly pessimistic) upper bound on a
+	// truncated one. The simulated draws below build their own gain
+	// table from geometry, so the empirical counts are exact under any
+	// backend — on a sparse field the Expected/empirical gap includes
+	// the tail-bound charge on top of sampling noise.
 	res := Result{
 		PerLinkFailures: make([]int64, m),
 		Expected:        sched.ExpectedFailures(pr, s),

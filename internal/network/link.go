@@ -31,14 +31,20 @@ func (l Link) Length() float64 {
 }
 
 // LinkSet is an immutable Fading-R-LS instance: a slice of links plus
-// cached pairwise geometry. Construct with NewLinkSet; the zero value
+// cached per-link geometry. Construct with NewLinkSet; the zero value
 // is an empty instance.
+//
+// Pairwise sender→receiver distances are computed on demand rather
+// than cached: an n×n matrix is O(n²) memory (80 GB of float64 at
+// n = 10⁵), which would cap instance sizes long before the sparse
+// interference backends do, and a distance is only a handful of
+// arithmetic operations.
 type LinkSet struct {
 	links []Link
-	// dist[i*n+j] is the distance from sender i to receiver j (d_{i,j}
-	// in the paper's notation), so dist[i*n+i] is the length of link i.
-	dist []float64
-	n    int
+	// length[i] is the link length d_{i,i}, cached because every
+	// algorithm reads it in sorting and class decomposition hot paths.
+	length []float64
+	n      int
 }
 
 // NewLinkSet validates and indexes an instance. It rejects links with
@@ -50,9 +56,9 @@ type LinkSet struct {
 func NewLinkSet(links []Link) (*LinkSet, error) {
 	n := len(links)
 	ls := &LinkSet{
-		links: append([]Link(nil), links...),
-		dist:  make([]float64, n*n),
-		n:     n,
+		links:  append([]Link(nil), links...),
+		length: make([]float64, n),
+		n:      n,
 	}
 	seenS := make(map[geom.Point]int, n)
 	seenR := make(map[geom.Point]int, n)
@@ -79,11 +85,7 @@ func NewLinkSet(links []Link) (*LinkSet, error) {
 		}
 		seenS[l.Sender] = i
 		seenR[l.Receiver] = i
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			ls.dist[i*n+j] = ls.links[i].Sender.Dist(ls.links[j].Receiver)
-		}
+		ls.length[i] = l.Length()
 	}
 	return ls, nil
 }
@@ -108,10 +110,15 @@ func (ls *LinkSet) Link(i int) Link { return ls.links[i] }
 func (ls *LinkSet) Links() []Link { return append([]Link(nil), ls.links...) }
 
 // Dist returns d_{i,j}: the distance from sender i to receiver j.
-func (ls *LinkSet) Dist(i, j int) float64 { return ls.dist[i*ls.n+j] }
+func (ls *LinkSet) Dist(i, j int) float64 {
+	if i == j {
+		return ls.length[i]
+	}
+	return ls.links[i].Sender.Dist(ls.links[j].Receiver)
+}
 
 // Length returns the length d_{i,i} of link i.
-func (ls *LinkSet) Length(i int) float64 { return ls.dist[i*ls.n+i] }
+func (ls *LinkSet) Length(i int) float64 { return ls.length[i] }
 
 // Rate returns λ_i.
 func (ls *LinkSet) Rate(i int) float64 { return ls.links[i].Rate }

@@ -71,6 +71,38 @@ func (p Params) InterferenceFactorP(pi, dij, pj, djj float64) float64 {
 	return math.Log1p(p.GammaTh * (pi / pj) * mathx.RelativeGain(dij, djj, p.Alpha))
 }
 
+// FarFieldCap returns the per-unit-power cap on the interference
+// factor any sender beyond distance r can exert on a receiver whose
+// desired sender uses power pj over length djj:
+//
+//	f = ln(1 + γ_th·(p_i/p_j)·(d_jj/d_ij)^α) ≤ p_i · γ_th·d_jj^α/(p_j·r^α)
+//
+// for every d_ij ≥ r, using ln(1+x) ≤ x and the monotonicity of d^{−α}.
+// Sparse interference backends budget their truncated far field with
+// this bound, so truncation can only make feasibility answers more
+// conservative, never optimistic.
+func (p Params) FarFieldCap(pj, djj, r float64) float64 {
+	if !(r > 0) {
+		return math.Inf(1)
+	}
+	return p.GammaTh * pow(djj, p.Alpha) / (pj * pow(r, p.Alpha))
+}
+
+// TruncationRadius inverts FarFieldCap: the distance beyond which an
+// interferer of power at most pmax contributes a factor below cutoff
+// to a receiver with desired power pj over length djj,
+//
+//	R = d_jj · (γ_th·pmax / (p_j·cutoff))^{1/α},
+//
+// so that pmax·FarFieldCap(pj, djj, R) == cutoff. Senders farther than
+// R may be dropped from a sparse field with per-sender error ≤ cutoff.
+func (p Params) TruncationRadius(pj, djj, pmax, cutoff float64) float64 {
+	if !(cutoff > 0) {
+		return math.Inf(1)
+	}
+	return djj * pow(p.GammaTh*pmax/(pj*cutoff), 1/p.Alpha)
+}
+
 // Informed reports whether a receiver with the given total interference
 // factor satisfies the Corollary 3.1 feasibility condition
 // Σ f_ij ≤ γ_ε, i.e. succeeds with probability at least 1−ε.

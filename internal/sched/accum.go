@@ -1,0 +1,195 @@
+package sched
+
+// Accum is the incremental feasibility accumulator every scheduler
+// maintains its working interference state in. It tracks, per receiver
+// j, the conservative load
+//
+//	Load(j) = base_j + Σ_{i∈A stored} f_{i,j} + TailBound(j)·Σ_{i∈A unstored} P_i
+//
+// over the current active set A, where base_j is NoiseTerm(j)
+// (NewAccum) or zero (NewInterferenceAccum, for the c₂-budget
+// algorithms that account noise in the budget instead). AddLink and
+// RemoveLink cost O(significant factors of the link); on the dense
+// backend the tail machinery vanishes (TailBound ≡ 0) and the
+// accumulator reduces bit-for-bit to the interference vectors the
+// algorithms historically kept by hand.
+//
+// The far-field term charges only *active* truncated senders — tracked
+// via actPow (total active power) minus nearPow[j] (active power
+// already stored, or belonging to j itself) — so sparse runs stay
+// conservative without paying for the n−|A| idle links.
+type Accum struct {
+	field InterferenceField
+	// dense short-circuits AddLink/RemoveLink through a raw row walk
+	// when the backend is the exact matrix (nil otherwise).
+	dense    *DenseField
+	gammaEps float64
+	load     []float64
+	// nearPow[j] = Σ P_i over active i whose factor on j is stored,
+	// plus P_j when j itself is active (a link never far-interferes
+	// with its own receiver). Unused (nil) when hasTail is false.
+	nearPow []float64
+	tail    []float64
+	actPow  float64
+	hasTail bool
+}
+
+// NewAccum returns an accumulator preloaded with each receiver's noise
+// term, so Load(j) tracks the full Corollary 3.1 budget usage — the
+// form Greedy, Exact, and Repair check against γ_ε.
+func NewAccum(pr *Problem) *Accum {
+	a := newAccumField(pr.field)
+	a.gammaEps = pr.GammaEps()
+	for j := range a.load {
+		a.load[j] = pr.field.NoiseTerm(j)
+	}
+	return a
+}
+
+// NewInterferenceAccum returns an accumulator starting at zero: pure
+// accumulated interference, the quantity RLE and DLS compare against
+// their c₂-scaled budgets (noise is folded into the budget by the
+// headroom analysis instead).
+func NewInterferenceAccum(pr *Problem) *Accum {
+	a := newAccumField(pr.field)
+	a.gammaEps = pr.GammaEps()
+	return a
+}
+
+func newAccumField(f InterferenceField) *Accum {
+	n := f.N()
+	a := &Accum{field: f, load: make([]float64, n)}
+	if d, ok := f.(*DenseField); ok {
+		a.dense = d
+		return a
+	}
+	for j := 0; j < n; j++ {
+		if f.TailBound(j) > 0 {
+			a.hasTail = true
+			break
+		}
+	}
+	if a.hasTail {
+		a.nearPow = make([]float64, n)
+		a.tail = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a.tail[j] = f.TailBound(j)
+		}
+	}
+	return a
+}
+
+// AddLink folds sender i into the active set.
+func (a *Accum) AddLink(i int) {
+	if a.dense != nil {
+		for j, v := range a.dense.row(i) {
+			if v > 0 {
+				a.load[j] += v
+			}
+		}
+		return
+	}
+	if !a.hasTail {
+		a.field.ForEachAffected(i, func(j int, f float64) { a.load[j] += f })
+		return
+	}
+	pi := a.field.PowerOf(i)
+	a.field.ForEachAffected(i, func(j int, f float64) {
+		a.load[j] += f
+		a.nearPow[j] += pi
+	})
+	a.nearPow[i] += pi
+	a.actPow += pi
+}
+
+// RemoveLink removes sender i from the active set. Like the manual
+// subtract-on-drop bookkeeping it replaces, removal is exact in value
+// but not guaranteed to restore prior bits; branch-and-bound style
+// searches should Clone before speculative adds instead.
+func (a *Accum) RemoveLink(i int) {
+	if a.dense != nil {
+		for j, v := range a.dense.row(i) {
+			if v > 0 {
+				a.load[j] -= v
+			}
+		}
+		return
+	}
+	if !a.hasTail {
+		a.field.ForEachAffected(i, func(j int, f float64) { a.load[j] -= f })
+		return
+	}
+	pi := a.field.PowerOf(i)
+	a.field.ForEachAffected(i, func(j int, f float64) {
+		a.load[j] -= f
+		a.nearPow[j] -= pi
+	})
+	a.nearPow[i] -= pi
+	a.actPow -= pi
+}
+
+// Load returns receiver j's conservative noise-plus-interference load
+// under the current active set.
+func (a *Accum) Load(j int) float64 {
+	if !a.hasTail {
+		return a.load[j]
+	}
+	far := a.actPow - a.nearPow[j]
+	if far <= 0 {
+		return a.load[j] // also absorbs rounding residue near zero
+	}
+	return a.load[j] + a.tail[j]*far
+}
+
+// Headroom returns how much of receiver j's γ_ε budget remains
+// (negative when over budget).
+func (a *Accum) Headroom(j int) float64 {
+	return a.gammaEps - a.Load(j)
+}
+
+// Contribution returns the conservative load delta receiver j would
+// see if sender i joined the active set: the stored factor, or the
+// tail-bound charge for truncated pairs. Zero for i == j and on exact
+// backends' truly-zero pairs.
+func (a *Accum) Contribution(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if f := a.field.Factor(i, j); f > 0 {
+		return f
+	}
+	if a.hasTail {
+		return a.tail[j] * a.field.PowerOf(i)
+	}
+	return 0
+}
+
+// Clone returns an independent copy sharing the immutable field and
+// tail bounds. It is the speculative-add primitive: searches clone,
+// add, and discard rather than add and remove, keeping bit-exact
+// backtracking.
+func (a *Accum) Clone() *Accum {
+	b := &Accum{
+		field:    a.field,
+		dense:    a.dense,
+		gammaEps: a.gammaEps,
+		load:     append([]float64(nil), a.load...),
+		tail:     a.tail,
+		actPow:   a.actPow,
+		hasTail:  a.hasTail,
+	}
+	if a.nearPow != nil {
+		b.nearPow = append([]float64(nil), a.nearPow...)
+	}
+	return b
+}
+
+// CopyFrom overwrites a's state with b's. Both must derive from the
+// same field.
+func (a *Accum) CopyFrom(b *Accum) {
+	copy(a.load, b.load)
+	if a.nearPow != nil {
+		copy(a.nearPow, b.nearPow)
+	}
+	a.actPow = b.actPow
+}

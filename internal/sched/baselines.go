@@ -50,11 +50,35 @@ func (a ApproxDiversity) Schedule(pr *Problem) Schedule {
 	active := eliminationSchedule(pr, eliminationConfig{
 		c1:     detC1For(pr.Params, budget, spread, c2),
 		budget: c2 * budget, // c₂ share of the deterministic budget
-		factor: pr.detGain,
+		accum:  newDetAccum(pr),
 		usable: usable,
 	})
 	return NewSchedule(a.Name(), active)
 }
+
+// detAccum adapts the deterministic-SINR relative gain to the
+// elimination core's accumulator interface. The deterministic model has
+// no truncated representation (and the baselines only ever run at
+// evaluation scale), so it recomputes gains directly from geometry —
+// the interference field is a fading-model construct.
+type detAccum struct {
+	pr   *Problem
+	load []float64
+}
+
+func newDetAccum(pr *Problem) *detAccum {
+	return &detAccum{pr: pr, load: make([]float64, pr.N())}
+}
+
+func (d *detAccum) AddLink(i int) {
+	for j := range d.load {
+		if j != i {
+			d.load[j] += d.pr.detGain(i, j)
+		}
+	}
+}
+
+func (d *detAccum) Load(j int) float64 { return d.load[j] }
 
 func init() {
 	mustRegister(ApproxLogN{})

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/network"
+	"repro/internal/radio"
+)
+
+// denseParallelThreshold is the instance size below which the dense
+// factor matrix is filled serially: goroutine startup costs more than
+// the O(n²) work it would split.
+const denseParallelThreshold = 192
+
+// DenseField is the exact interference backend: the full row-major
+// n×n factor matrix, the original Problem representation. Construction
+// is row-sharded across GOMAXPROCS workers — each sender row is an
+// independent slice of the matrix, so workers share nothing and the
+// result is bit-identical at any worker count.
+type DenseField struct {
+	ls     *network.LinkSet
+	params radio.Params
+	// factor[i*n+j] = f_{i,j} (0 on the diagonal, per Eq. 17),
+	// computed with each link's effective transmit power.
+	factor []float64
+	noise  []float64
+	power  []float64
+	n      int
+}
+
+func newDenseField(ls *network.LinkSet, p radio.Params) *DenseField {
+	return newDenseFieldWorkers(ls, p, runtime.GOMAXPROCS(0))
+}
+
+// newDenseFieldWorkers exposes the worker count so tests can prove the
+// parallel fill is bit-identical to the serial one.
+func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *DenseField {
+	n := ls.Len()
+	f := &DenseField{
+		ls: ls, params: p, n: n,
+		factor: make([]float64, n*n),
+		noise:  make([]float64, n),
+		power:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		f.power[i] = p.EffectivePower(ls.Power(i))
+	}
+	for j := 0; j < n; j++ {
+		f.noise[j] = p.NoiseFactorP(f.power[j], ls.Length(j))
+	}
+	if workers < 1 || n < denseParallelThreshold {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f.fillRows(0, n)
+		return f
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f.fillRows(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return f
+}
+
+// fillRows computes the factor rows of senders [lo, hi).
+func (f *DenseField) fillRows(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := f.factor[i*f.n : (i+1)*f.n]
+		for j := 0; j < f.n; j++ {
+			if i == j {
+				continue
+			}
+			row[j] = f.params.InterferenceFactorP(f.power[i], f.ls.Dist(i, j), f.power[j], f.ls.Length(j))
+		}
+	}
+}
+
+// N implements InterferenceField.
+func (f *DenseField) N() int { return f.n }
+
+// Factor implements InterferenceField.
+func (f *DenseField) Factor(i, j int) float64 { return f.factor[i*f.n+j] }
+
+// NoiseTerm implements InterferenceField.
+func (f *DenseField) NoiseTerm(j int) float64 { return f.noise[j] }
+
+// PowerOf implements InterferenceField.
+func (f *DenseField) PowerOf(i int) float64 { return f.power[i] }
+
+// TailBound implements InterferenceField: the dense backend truncates
+// nothing.
+func (f *DenseField) TailBound(int) float64 { return 0 }
+
+// ForEachSignificant implements InterferenceField (a column scan).
+func (f *DenseField) ForEachSignificant(j int, fn func(i int, fij float64)) {
+	for i := 0; i < f.n; i++ {
+		if v := f.factor[i*f.n+j]; v > 0 {
+			fn(i, v)
+		}
+	}
+}
+
+// ForEachAffected implements InterferenceField (a row scan).
+func (f *DenseField) ForEachAffected(i int, fn func(j int, fij float64)) {
+	row := f.factor[i*f.n : (i+1)*f.n]
+	for j, v := range row {
+		if v > 0 {
+			fn(j, v)
+		}
+	}
+}
+
+// row returns sender i's factor row; the accumulator's dense fast path
+// walks it directly instead of paying a closure call per entry.
+func (f *DenseField) row(i int) []float64 { return f.factor[i*f.n : (i+1)*f.n] }
+
+// rebind implements the incremental-update hook used by
+// Problem.Rebind: the moved links' rows and columns are recomputed in
+// place against the new geometry, O(|moved|·n) instead of an O(n²)
+// rebuild. All links keep their identities (count, rates, powers);
+// only positions may differ.
+func (f *DenseField) rebind(ls *network.LinkSet, moved []int) {
+	f.ls = ls
+	for _, i := range moved {
+		f.power[i] = f.params.EffectivePower(ls.Power(i))
+		f.noise[i] = f.params.NoiseFactorP(f.power[i], ls.Length(i))
+	}
+	for _, i := range moved {
+		row := f.factor[i*f.n : (i+1)*f.n]
+		for j := 0; j < f.n; j++ {
+			if i == j {
+				continue
+			}
+			row[j] = f.params.InterferenceFactorP(f.power[i], ls.Dist(i, j), f.power[j], ls.Length(j))
+			f.factor[j*f.n+i] = f.params.InterferenceFactorP(f.power[j], ls.Dist(j, i), f.power[i], ls.Length(i))
+		}
+	}
+}

@@ -85,7 +85,7 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 		}
 	}
 	retry := make([]int, n)
-	interf := make([]float64, n) // factor on receiver j from active set
+	acc := NewInterferenceAccum(pr) // factor on each receiver from active set
 	var active []int
 
 	// contends reports the mutual-interference relation of step 2.
@@ -101,7 +101,7 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 			break
 		}
 		for _, i := range undecided {
-			if interf[i] > budget {
+			if acc.Load(i) > budget {
 				state[i] = dlsGaveUp
 				continue
 			}
@@ -155,22 +155,18 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 		}
 
 		// Step 3: tentative activation + probing rollback.
-		a.commitRound(pr, budget, state, retry, retries, interf, &active, winners)
+		a.commitRound(budget, state, retry, retries, acc, &active, winners)
 	}
 	return NewSchedule(a.Name(), active)
 }
 
 // commitRound applies one round's winners with the NACK rollback and
-// returns how many survived. interf and active are updated in place.
-func (a DLS) commitRound(pr *Problem, budget float64, state []dlsState, retry []int, maxRetries int, interf []float64, active *[]int, winners []int) int {
+// returns how many survived. acc and active are updated in place.
+func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetries int, acc *Accum, active *[]int, winners []int) int {
 	// Tentative view of interference with all winners in.
-	tent := append([]float64(nil), interf...)
+	tent := acc.Clone()
 	for _, w := range winners {
-		for j := range tent {
-			if j != w {
-				tent[j] += pr.Factor(w, j)
-			}
-		}
+		tent.AddLink(w)
 	}
 	in := make(map[int]bool, len(winners))
 	for _, w := range winners {
@@ -190,7 +186,7 @@ func (a DLS) commitRound(pr *Problem, budget float64, state []dlsState, retry []
 		// Find the worst violated receiver among the tentative set.
 		worst, worstOver := -1, 0.0
 		for _, j := range members() {
-			if over := tent[j] - budget; over > worstOver+1e-15 {
+			if over := tent.Load(j) - budget; over > worstOver+1e-15 {
 				worst, worstOver = j, over
 			}
 		}
@@ -204,7 +200,7 @@ func (a DLS) commitRound(pr *Problem, budget float64, state []dlsState, retry []
 			if !in[w] || w == worst {
 				continue
 			}
-			if c := pr.Factor(w, worst); c > contrib {
+			if c := acc.Contribution(w, worst); c > contrib {
 				nack, contrib = w, c
 			}
 		}
@@ -218,11 +214,7 @@ func (a DLS) commitRound(pr *Problem, budget float64, state []dlsState, retry []
 			}
 		}
 		in[nack] = false
-		for j := range tent {
-			if j != nack {
-				tent[j] -= pr.Factor(nack, j)
-			}
-		}
+		tent.RemoveLink(nack)
 		retry[nack]++
 		if retry[nack] >= maxRetries {
 			state[nack] = dlsGaveUp
@@ -236,7 +228,7 @@ func (a DLS) commitRound(pr *Problem, budget float64, state []dlsState, retry []
 			joined++
 		}
 	}
-	copy(interf, tent)
+	acc.CopyFrom(tent)
 	return joined
 }
 

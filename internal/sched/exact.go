@@ -115,37 +115,33 @@ func exactSolve(pr *Problem, splitDepth int) []int {
 	// Enumerate the 2^splitDepth assignments of the first splitDepth
 	// decisions; each feasible prefix becomes one parallel task.
 	type task struct {
-		set    []int
-		interf []float64
-		rate   float64
+		set  []int
+		acc  *Accum
+		rate float64
 	}
 	var tasks []task
-	var build func(d int, set []int, interf []float64, rate float64)
-	build = func(d int, set []int, interf []float64, rate float64) {
+	var build func(d int, set []int, acc *Accum, rate float64)
+	build = func(d int, set []int, acc *Accum, rate float64) {
 		if d == splitDepth {
 			tasks = append(tasks, task{
-				set:    append([]int(nil), set...),
-				interf: append([]float64(nil), interf...),
-				rate:   rate,
+				set:  append([]int(nil), set...),
+				acc:  acc.Clone(),
+				rate: rate,
 			})
 			return
 		}
 		i := order[d]
 		// Exclude branch.
-		build(d+1, set, interf, rate)
+		build(d+1, set, acc, rate)
 		// Include branch, if the prefix stays feasible.
-		if ni, ok := tryInclude(pr, set, interf, i); ok {
+		if ni, ok := tryInclude(pr, set, acc, i); ok {
 			build(d+1, append(set, i), ni, rate+pr.Links.Rate(i))
 		}
 	}
-	// The interference vector starts at each receiver's noise term so
-	// the Informed checks in tryInclude test the full noise-aware
-	// budget (identical to plain Corollary 3.1 when N0 = 0).
-	interf0 := make([]float64, n)
-	for j := range interf0 {
-		interf0[j] = pr.NoiseTerm(j)
-	}
-	build(0, nil, interf0, 0)
+	// The accumulator starts at each receiver's noise term so the
+	// Informed checks in tryInclude test the full noise-aware budget
+	// (identical to plain Corollary 3.1 when N0 = 0).
+	build(0, nil, NewAccum(pr), 0)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -155,35 +151,33 @@ func exactSolve(pr *Problem, splitDepth int) []int {
 		go func(tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			dfs(pr, st, order, suffixRate, splitDepth, tk.set, tk.interf, tk.rate)
+			dfs(pr, st, order, suffixRate, splitDepth, tk.set, tk.acc, tk.rate)
 		}(tk)
 	}
 	wg.Wait()
 	return append([]int(nil), st.bestSet...)
 }
 
-// tryInclude returns the interference vector after adding sender i to
+// tryInclude returns the accumulator state after adding sender i to
 // set, or ok=false when the grown set violates any member's budget
-// (including i's own). interf is not mutated.
-func tryInclude(pr *Problem, set []int, interf []float64, i int) ([]float64, bool) {
-	if !pr.Params.Informed(interf[i]) {
+// (including i's own). acc is not mutated: branches clone rather than
+// add-and-undo, so backtracking is bit-exact (a remove only restores
+// the value, not necessarily the bits, near the feasibility slack).
+func tryInclude(pr *Problem, set []int, acc *Accum, i int) (*Accum, bool) {
+	if !pr.Params.Informed(acc.Load(i)) {
 		return nil, false
 	}
 	for _, j := range set {
-		if !pr.Params.Informed(interf[j] + pr.Factor(i, j)) {
+		if !pr.Params.Informed(acc.Load(j) + acc.Contribution(i, j)) {
 			return nil, false
 		}
 	}
-	ni := append([]float64(nil), interf...)
-	for j := range ni {
-		if j != i {
-			ni[j] += pr.Factor(i, j)
-		}
-	}
+	ni := acc.Clone()
+	ni.AddLink(i)
 	return ni, true
 }
 
-func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, interf []float64, rate float64) {
+func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, acc *Accum, rate float64) {
 	if rate+suffixRate[d] <= st.bound()+1e-12 {
 		return // even taking everything left cannot beat the incumbent
 	}
@@ -194,10 +188,10 @@ func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, 
 	i := order[d]
 	// Include first: descending-rate order means the include branch is
 	// the one that can raise the incumbent fastest.
-	if ni, ok := tryInclude(pr, set, interf, i); ok {
+	if ni, ok := tryInclude(pr, set, acc, i); ok {
 		dfs(pr, st, order, suffixRate, d+1, append(set, i), ni, rate+pr.Links.Rate(i))
 	}
-	dfs(pr, st, order, suffixRate, d+1, set, interf, rate)
+	dfs(pr, st, order, suffixRate, d+1, set, acc, rate)
 }
 
 func init() {

@@ -211,7 +211,7 @@ func TestILPBigMSufficient(t *testing.T) {
 	for j := 0; j < n; j++ {
 		var lhs float64
 		for i := 0; i < n; i++ {
-			lhs += ilp.F[i][j]
+			lhs += ilp.Coeff(i, j)
 		}
 		if lhs > ilp.M {
 			t.Errorf("row %d: max lhs %v exceeds M %v", j, lhs, ilp.M)

@@ -28,24 +28,21 @@ func (Greedy) Schedule(pr *Problem) Schedule {
 		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
 	})
 
-	// interf[j] tracks receiver j's total budget usage: its noise term
+	// acc tracks each receiver's total budget usage: its noise term
 	// (zero in the paper's model) plus interference from the current
 	// set. Greedy needs no headroom slack — it checks the exact budget.
-	interf := make([]float64, n)
-	for j := range interf {
-		interf[j] = pr.NoiseTerm(j)
-	}
+	acc := NewAccum(pr)
 	var active []int
 	for _, i := range order {
 		// Candidate's own budget with the current set (Informed applies
 		// the same rounding slack as the Verify cross-check).
-		if !pr.Params.Informed(interf[i]) {
+		if !pr.Params.Informed(acc.Load(i)) {
 			continue
 		}
 		// Would adding sender i push any active receiver over budget?
 		ok := true
 		for _, j := range active {
-			if !pr.Params.Informed(interf[j] + pr.Factor(i, j)) {
+			if !pr.Params.Informed(acc.Load(j) + acc.Contribution(i, j)) {
 				ok = false
 				break
 			}
@@ -53,11 +50,7 @@ func (Greedy) Schedule(pr *Problem) Schedule {
 		if !ok {
 			continue
 		}
-		for j := range interf {
-			if j != i {
-				interf[j] += pr.Factor(i, j)
-			}
-		}
+		acc.AddLink(i)
 		active = append(active, i)
 	}
 	return NewSchedule("greedy", active)

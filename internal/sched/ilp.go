@@ -12,16 +12,24 @@ import (
 //	s.t. Σ_i f_{i,j}·x_i ≤ γ_ε + M·(1−x_j)   ∀j
 //	     x ∈ {0,1}^N
 //
-// The struct materializes the coefficient data so it can be exported
-// (e.g. to an external solver format) and so tests can check the
-// formulation is exactly equivalent to the set-based feasibility
-// definition. The Exact solver consumes the Problem directly — the
-// big-M trick is only needed by matrix-form solvers.
+// The struct carries the coefficient data so it can be exported (e.g.
+// to an external solver format) and so tests can check the formulation
+// is exactly equivalent to the set-based feasibility definition. The
+// Exact solver consumes the Problem directly — the big-M trick is only
+// needed by matrix-form solvers.
+//
+// Coefficients are read through the instance's InterferenceField via
+// Coeff rather than copied into a matrix: materializing F[i][j] would
+// cost O(n²) memory (3.2 GB of float64 at n = 20000) and defeat the
+// point of a sparse backend. On a truncated backend Coeff substitutes
+// the conservative tail-bound charge for truncated pairs, so the ILP
+// stays a restriction of the true problem — any assignment it accepts
+// is feasible under the exact factors.
 type ILP struct {
 	// Rates holds the objective coefficients λ.
 	Rates []float64
-	// F is the row-major factor matrix, F[i][j] = f_{i,j}.
-	F [][]float64
+	// Field answers the constraint coefficients; see Coeff.
+	Field InterferenceField
 	// Noise holds each receiver's additive noise term (zero in the
 	// paper's model); constraint j's effective budget is
 	// GammaEps − Noise[j].
@@ -30,41 +38,55 @@ type ILP struct {
 	GammaEps float64
 	// M is the big-M constant: any value large enough that the x_j = 0
 	// form of constraint j can never bind. The left-hand side is at
-	// most Σ_i f_{i,j}, and the right-hand side is γ_ε − Noise[j] + M
+	// most Σ_i Coeff(i,j), and the right-hand side is γ_ε − Noise[j] + M
 	// (which can start deeply negative for noise-dominated links), so
-	// we use max_j (Σ_i f_{i,j} + Noise[j]) + 1.
+	// we use max_j (Σ_i Coeff(i,j) + Noise[j]) + 1.
 	M float64
 }
 
-// BuildILP extracts the ILP data of a problem.
+// BuildILP extracts the ILP view of a problem. It allocates only the
+// O(n) vectors; constraint coefficients stay in the problem's
+// interference field.
 func BuildILP(pr *Problem) ILP {
 	n := pr.N()
 	ilp := ILP{
 		Rates:    make([]float64, n),
-		F:        make([][]float64, n),
+		Field:    pr.Field(),
 		Noise:    make([]float64, n),
 		GammaEps: pr.GammaEps(),
 	}
 	for i := 0; i < n; i++ {
 		ilp.Rates[i] = pr.Links.Rate(i)
 		ilp.Noise[i] = pr.NoiseTerm(i)
-		ilp.F[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			ilp.F[i][j] = pr.Factor(i, j)
-		}
 	}
 	for j := 0; j < n; j++ {
 		col := ilp.Noise[j]
 		for i := 0; i < n; i++ {
-			if f := ilp.F[i][j]; f > 0 {
-				col += f
-			}
+			col += ilp.Coeff(i, j)
 		}
 		if col+1 > ilp.M {
 			ilp.M = col + 1
 		}
 	}
 	return ilp
+}
+
+// Coeff returns the constraint coefficient of variable x_i in row j:
+// the stored interference factor, or the conservative tail-bound
+// charge TailBound(j)·P_i for pairs a sparse field truncated (keeping
+// the program linear — the charge is what the feasibility accumulator
+// uses too). Zero on the diagonal.
+func (ilp ILP) Coeff(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if f := ilp.Field.Factor(i, j); f > 0 {
+		return f
+	}
+	if tb := ilp.Field.TailBound(j); tb > 0 {
+		return tb * ilp.Field.PowerOf(i)
+	}
+	return 0
 }
 
 // FeasibleAssignment evaluates the ILP constraints on a 0/1 assignment,
@@ -76,7 +98,7 @@ func (ilp ILP) FeasibleAssignment(x []bool) bool {
 		var lhs float64
 		for i := 0; i < n; i++ {
 			if x[i] {
-				lhs += ilp.F[i][j]
+				lhs += ilp.Coeff(i, j)
 			}
 		}
 		rhs := ilp.GammaEps - ilp.Noise[j]
@@ -120,7 +142,7 @@ func (ilp ILP) WriteLP(w io.Writer) error {
 			if i == j {
 				continue
 			}
-			fmt.Fprintf(w, " + %g x%d", ilp.F[i][j], i)
+			fmt.Fprintf(w, " + %g x%d", ilp.Coeff(i, j), i)
 		}
 		// Move M·(1−x_j) to the left: Σ f·x_i + M·x_j ≤ γ_ε − noise_j + M.
 		fmt.Fprintf(w, " + %g x%d <= %g\n", ilp.M, j, ilp.GammaEps-ilp.Noise[j]+ilp.M)

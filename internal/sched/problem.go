@@ -9,57 +9,53 @@ import (
 )
 
 // Problem is one Fading-R-LS instance: a link set plus the physical
-// model parameters. It caches the full interference-factor matrix
-// because every algorithm and every verification pass reads it.
+// model parameters, with interference served by a pluggable
+// InterferenceField backend (dense exact matrix by default, sparse
+// truncated field for large instances — see NewProblem options).
 type Problem struct {
 	Links  *network.LinkSet
 	Params radio.Params
 
-	// factor[i*n+j] = f_{i,j} (0 on the diagonal, per Eq. 17),
-	// computed with each link's effective transmit power.
-	factor []float64
-	// noise[j] is the additive noise term of link j in the noise-aware
-	// feasibility condition (all zero in the paper's N0 = 0 setting).
-	noise []float64
-	// power[i] is link i's effective transmit power.
-	power []float64
-	n     int
+	field InterferenceField
+	// build reconstructs the field for a re-bound link set (mobility);
+	// fieldName records which backend was selected, for diagnostics.
+	build     fieldBuilder
+	fieldName string
+	n         int
 }
 
-// NewProblem validates parameters and precomputes the factor matrix.
-func NewProblem(ls *network.LinkSet, p radio.Params) (*Problem, error) {
+// NewProblem validates parameters and constructs the interference
+// field. With no options it builds the exact dense matrix (the
+// historical behavior); pass WithSparseField to trade bounded,
+// conservative-only truncation error for near-linear memory.
+func NewProblem(ls *network.LinkSet, p radio.Params, opts ...Option) (*Problem, error) {
 	if ls == nil {
 		return nil, fmt.Errorf("sched: nil link set")
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("sched: invalid radio params: %w", err)
 	}
-	n := ls.Len()
-	pr := &Problem{
-		Links: ls, Params: p, n: n,
-		factor: make([]float64, n*n),
-		noise:  make([]float64, n),
-		power:  make([]float64, n),
-	}
-	for i := 0; i < n; i++ {
-		pr.power[i] = p.EffectivePower(ls.Power(i))
-	}
-	for j := 0; j < n; j++ {
-		pr.noise[j] = p.NoiseFactorP(pr.power[j], ls.Length(j))
-		for i := 0; i < n; i++ {
-			if i == j {
-				continue
-			}
-			pr.factor[i*n+j] = p.InterferenceFactorP(pr.power[i], ls.Dist(i, j), pr.power[j], ls.Length(j))
+	cfg := problemConfig{}
+	WithDenseField()(&cfg)
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
 		}
 	}
-	return pr, nil
+	field, err := cfg.build(ls, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{
+		Links: ls, Params: p, n: ls.Len(),
+		field: field, build: cfg.build, fieldName: cfg.name,
+	}, nil
 }
 
 // MustNewProblem panics on error; for tests and generators with known
 // valid inputs.
-func MustNewProblem(ls *network.LinkSet, p radio.Params) *Problem {
-	pr, err := NewProblem(ls, p)
+func MustNewProblem(ls *network.LinkSet, p radio.Params, opts ...Option) *Problem {
+	pr, err := NewProblem(ls, p, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -69,19 +65,58 @@ func MustNewProblem(ls *network.LinkSet, p radio.Params) *Problem {
 // N returns the number of links.
 func (pr *Problem) N() int { return pr.n }
 
-// Factor returns f_{i,j}, the interference factor of sender i on
-// receiver j (0 when i == j).
-func (pr *Problem) Factor(i, j int) float64 { return pr.factor[i*pr.n+j] }
+// Field returns the interference backend the instance was built with.
+func (pr *Problem) Field() InterferenceField { return pr.field }
+
+// FieldName returns the selected backend's name ("dense", "sparse").
+func (pr *Problem) FieldName() string { return pr.fieldName }
+
+// Factor returns f_{i,j}, the stored interference factor of sender i on
+// receiver j (0 when i == j, or when a sparse backend truncated the
+// pair — see InterferenceField.Factor).
+func (pr *Problem) Factor(i, j int) float64 { return pr.field.Factor(i, j) }
 
 // GammaEps returns the feasibility budget γ_ε of the instance.
 func (pr *Problem) GammaEps() float64 { return pr.Params.GammaEps() }
 
 // NoiseTerm returns receiver j's additive noise contribution to its
 // feasibility budget (0 with the paper's N0 = 0).
-func (pr *Problem) NoiseTerm(j int) float64 { return pr.noise[j] }
+func (pr *Problem) NoiseTerm(j int) float64 { return pr.field.NoiseTerm(j) }
 
 // PowerOf returns link i's effective transmit power.
-func (pr *Problem) PowerOf(i int) float64 { return pr.power[i] }
+func (pr *Problem) PowerOf(i int) float64 { return pr.field.PowerOf(i) }
+
+// Rebind points the instance at a moved copy of the same links (same
+// count, rates, and powers; only positions may differ) and patches the
+// interference field incrementally where the backend supports it. The
+// dense backend recomputes just the moved links' rows and columns in
+// place — O(|moved|·n) instead of the O(n²) full build — which is what
+// makes per-step mobility tracking affordable; other backends rebuild.
+// moved lists the link indices whose sender or receiver changed.
+func (pr *Problem) Rebind(ls *network.LinkSet, moved []int) error {
+	if ls == nil {
+		return fmt.Errorf("sched: nil link set")
+	}
+	if ls.Len() != pr.n {
+		return fmt.Errorf("sched: rebind link count %d != %d (links must keep their identities)", ls.Len(), pr.n)
+	}
+	for _, i := range moved {
+		if i < 0 || i >= pr.n {
+			return fmt.Errorf("sched: rebind moved index %d out of range", i)
+		}
+	}
+	if d, ok := pr.field.(*DenseField); ok {
+		d.rebind(ls, moved)
+	} else {
+		field, err := pr.build(ls, pr.Params)
+		if err != nil {
+			return err
+		}
+		pr.field = field
+	}
+	pr.Links = ls
+	return nil
+}
 
 // headroom computes the shared machinery the approximation algorithms
 // use to stay correct under the noise and heterogeneous-power
@@ -100,22 +135,30 @@ func (pr *Problem) PowerOf(i int) float64 { return pr.power[i] }
 // algorithm behaves byte-identically to the paper's pseudocode.
 func (pr *Problem) headroom() (budget, spread float64, usable []bool) {
 	ge := pr.GammaEps()
-	budget = ge
 	usable = make([]bool, pr.n)
 	var worstNoise float64
 	minP, maxP := math.Inf(1), 0.0
+	any := false
 	for j := 0; j < pr.n; j++ {
-		if pr.noise[j] > ge/2 {
+		if pr.field.NoiseTerm(j) > ge/2 {
 			continue
 		}
+		any = true
 		usable[j] = true
-		worstNoise = math.Max(worstNoise, pr.noise[j])
-		minP = math.Min(minP, pr.power[j])
-		maxP = math.Max(maxP, pr.power[j])
+		worstNoise = math.Max(worstNoise, pr.field.NoiseTerm(j))
+		minP = math.Min(minP, pr.field.PowerOf(j))
+		maxP = math.Max(maxP, pr.field.PowerOf(j))
+	}
+	if !any {
+		// Every link is noise-drowned (minP stayed +Inf, maxP stayed 0):
+		// nothing to budget for, and the spread ratio would be 0/∞.
+		// Return the untouched budget and unit spread so callers simply
+		// schedule the empty set.
+		return ge, 1, usable
 	}
 	budget = ge - worstNoise
 	spread = 1.0
-	if maxP > 0 && minP < math.Inf(1) && maxP > minP {
+	if maxP > minP {
 		spread = maxP / minP
 	}
 	return budget, spread, usable
@@ -126,23 +169,29 @@ func (pr *Problem) headroom() (budget, spread float64, usable []bool) {
 // γ_th·N0/(P_j·d_jj^{−α}). Reduces to (1, 1, all-true) on the paper's
 // model.
 func (pr *Problem) detHeadroom() (budget, spread float64, usable []bool) {
-	budget = 1
 	usable = make([]bool, pr.n)
 	var worstNoise float64
 	minP, maxP := math.Inf(1), 0.0
+	any := false
 	for j := 0; j < pr.n; j++ {
 		dn := pr.detNoise(j)
 		if dn > 0.5 {
 			continue
 		}
+		any = true
 		usable[j] = true
 		worstNoise = math.Max(worstNoise, dn)
-		minP = math.Min(minP, pr.power[j])
-		maxP = math.Max(maxP, pr.power[j])
+		minP = math.Min(minP, pr.field.PowerOf(j))
+		maxP = math.Max(maxP, pr.field.PowerOf(j))
+	}
+	if !any {
+		// All links noise-drowned under the deterministic model too;
+		// same degenerate-extrema guard as headroom.
+		return 1, 1, usable
 	}
 	budget = 1 - worstNoise
 	spread = 1.0
-	if maxP > 0 && minP < math.Inf(1) && maxP > minP {
+	if maxP > minP {
 		spread = maxP / minP
 	}
 	return budget, spread, usable
@@ -154,28 +203,34 @@ func (pr *Problem) detNoise(j int) float64 {
 	if pr.Params.N0 == 0 {
 		return 0
 	}
-	return pr.Params.GammaTh * pr.Params.N0 / pr.Params.MeanGainP(pr.power[j], pr.Links.Length(j))
+	return pr.Params.GammaTh * pr.Params.N0 / pr.Params.MeanGainP(pr.field.PowerOf(j), pr.Links.Length(j))
 }
 
 // detGain is the deterministic-model relative interference of sender i
 // on receiver j, power-aware: γ_th·(P_i/P_j)·(d_jj/d_ij)^α.
 func (pr *Problem) detGain(i, j int) float64 {
 	base := pr.Params.RelativeGain(pr.Links.Dist(i, j), pr.Links.Length(j))
-	return base * pr.power[i] / pr.power[j]
+	return base * pr.field.PowerOf(i) / pr.field.PowerOf(j)
 }
 
-// InterferenceOn returns Σ_{i∈active, i≠j} f_{i,j}: the total
-// interference factor on receiver j from the given active sender set.
-// The sum is plain left-to-right; budgets are O(10⁻²) with factors
-// bounded below by ~10⁻¹⁵ of the budget at deployment scale, so
-// compensation is unnecessary here (the verifier uses compensated sums
-// as an independent cross-check).
+// InterferenceOn returns the (conservative) total interference factor
+// on receiver j from the given active sender set: stored factors plus
+// the backend's tail-bound charge for truncated active senders. Exact
+// on the dense backend. The sum is plain left-to-right; budgets are
+// O(10⁻²) with factors bounded below by ~10⁻¹⁵ of the budget at
+// deployment scale, so compensation is unnecessary here (the verifier
+// uses compensated sums as an independent cross-check).
 func (pr *Problem) InterferenceOn(j int, active []int) float64 {
 	var sum float64
-	row := pr.factor
+	tb := pr.field.TailBound(j)
 	for _, i := range active {
-		if i != j {
-			sum += row[i*pr.n+j]
+		if i == j {
+			continue
+		}
+		if f := pr.field.Factor(i, j); f > 0 {
+			sum += f
+		} else if tb > 0 {
+			sum += tb * pr.field.PowerOf(i)
 		}
 	}
 	return sum

@@ -14,17 +14,11 @@ package sched
 // power spreads).
 func Repair(pr *Problem, s Schedule) Schedule {
 	active := append([]int(nil), s.Active...)
-	// interf[j] = noise_j + Σ factors from active onto j, maintained
-	// incrementally as links are dropped.
-	interf := make(map[int]float64, len(active))
-	for _, j := range active {
-		sum := pr.NoiseTerm(j)
-		for _, i := range active {
-			if i != j {
-				sum += pr.Factor(i, j)
-			}
-		}
-		interf[j] = sum
+	// acc tracks noise_j + Σ factors from the alive set onto each j,
+	// maintained incrementally as links are dropped.
+	acc := NewAccum(pr)
+	for _, i := range active {
+		acc.AddLink(i)
 	}
 	alive := make(map[int]bool, len(active))
 	for _, i := range active {
@@ -36,7 +30,7 @@ func Repair(pr *Problem, s Schedule) Schedule {
 			if !alive[j] {
 				continue
 			}
-			if v := interf[j]; !pr.Params.Informed(v) && v > worstVal {
+			if v := acc.Load(j); !pr.Params.Informed(v) && v > worstVal {
 				worst, worstVal = j, v
 			}
 		}
@@ -51,16 +45,12 @@ func Repair(pr *Problem, s Schedule) Schedule {
 			if i == worst || !alive[i] {
 				continue
 			}
-			if c := pr.Factor(i, worst); c > contrib {
+			if c := acc.Contribution(i, worst); c > contrib {
 				drop, contrib = i, c
 			}
 		}
 		alive[drop] = false
-		for _, j := range active {
-			if alive[j] && j != drop {
-				interf[j] -= pr.Factor(drop, j)
-			}
-		}
+		acc.RemoveLink(drop)
 	}
 	var kept []int
 	for _, i := range active {

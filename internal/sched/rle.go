@@ -2,7 +2,11 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/mathx"
 )
 
 // DefaultC2 is the interference-budget split c₂ used when an RLE or
@@ -43,7 +47,7 @@ func (a RLE) Schedule(pr *Problem) Schedule {
 	active := eliminationSchedule(pr, eliminationConfig{
 		c1:     rleC1For(pr.Params, budget, spread, c2),
 		budget: c2 * budget,
-		factor: pr.Factor,
+		accum:  NewInterferenceAccum(pr),
 		usable: usable,
 	})
 	return NewSchedule(a.Name(), active)
@@ -60,13 +64,21 @@ type eliminationConfig struct {
 	c1 float64
 	// budget is the rule-2 accumulated-interference cap.
 	budget float64
-	// factor(i, j) is the interference measure of sender i on
-	// receiver j under the algorithm's channel model.
-	factor func(i, j int) float64
+	// accum measures each candidate's accumulated interference from the
+	// picked set under the algorithm's channel model (field Accum for
+	// RLE, deterministic-gain adapter for ApproxDiversity).
+	accum interferenceAccum
 	// usable marks links allowed to participate (nil = all); the
 	// headroom analysis excludes links whose noise term alone exhausts
 	// their budget.
 	usable []bool
+}
+
+// interferenceAccum is the slice of the Accum surface the elimination
+// core needs, so the deterministic baseline can plug in its own model.
+type interferenceAccum interface {
+	AddLink(i int)
+	Load(j int) float64
 }
 
 func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
@@ -84,34 +96,58 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
 	for i := range alive {
 		alive[i] = cfg.usable == nil || cfg.usable[i]
 	}
-	accum := make([]float64, n) // Σ factor(picked, j) so far
+	// Rule-1 queries go through a grid index over the senders instead of
+	// an O(n) scan per pick; elimination radii scale with the picked
+	// link's length, so the cell side comes from the median length.
+	senders := pr.Links.Senders()
+	idx := geom.NewIndex(senders, rule1IndexSide(pr, cfg.c1))
 	var active []int
 
 	for _, i := range order {
 		if !alive[i] {
 			continue
 		}
+		// Rule 2, checked lazily at pick time: accumulated interference
+		// is monotone nondecreasing and elimination only matters when a
+		// link reaches the head of the pick order, so testing the budget
+		// here admits exactly the links the pseudocode's eager per-pick
+		// elimination admits.
+		if cfg.accum.Load(i) > cfg.budget {
+			alive[i] = false
+			continue
+		}
 		alive[i] = false
 		active = append(active, i)
 		ri := pr.Links.Link(i).Receiver
 		radius := cfg.c1 * pr.Links.Length(i)
-		for j := 0; j < n; j++ {
-			if !alive[j] {
-				continue
-			}
-			// Rule 1: sender too close to the new receiver.
-			if pr.Links.Link(j).Sender.Dist(ri) < radius {
-				alive[j] = false
-				continue
-			}
-			// Rule 2: accumulated interference from the active set.
-			accum[j] += cfg.factor(i, j)
-			if accum[j] > cfg.budget {
+		// Rule 1: candidates whose sender is too close to the new
+		// receiver. The index query is inclusive (≤ radius); the rule is
+		// strict (<), so re-check the distance before eliminating.
+		idx.VisitWithinRadius(ri, radius, func(j int) {
+			if alive[j] && senders[j].Dist(ri) < radius {
 				alive[j] = false
 			}
-		}
+		})
+		cfg.accum.AddLink(i)
 	}
 	return active
+}
+
+// rule1IndexSide derives a grid cell side for the rule-1 sender index:
+// a third of the median elimination radius, with a bounding-box
+// fallback when the radii are degenerate (empty instance, extreme c₁).
+func rule1IndexSide(pr *Problem, c1 float64) float64 {
+	n := pr.N()
+	lengths := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lengths[i] = pr.Links.Length(i)
+	}
+	side := c1 * mathx.Median(lengths) / 3
+	if side > 0 && !math.IsInf(side, 1) {
+		return side
+	}
+	box := geom.BoundingBox(pr.Links.Senders())
+	return math.Max(box.Width(), box.Height())/64 + 1
 }
 
 func init() {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the repository's pre-merge gate: formatting, vet, build,
+# and the full test suite under the race detector. Run from anywhere;
+# it cds to the repo root. `make check` is the usual entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+# -short skips the 20000-link sparse scale test, which the race
+# detector slows past usefulness; run `make test-full` for it.
+go test -race -short ./...
+
+echo "ok"
