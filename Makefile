@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench build fmt vet fuzz
+.PHONY: check test test-full bench bench-serve build fmt vet fuzz serve serve-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -22,10 +22,23 @@ test-full:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
 
+## bench-serve: schedd cold-vs-warm cache benchmark (n=1000 instance)
+bench-serve:
+	$(GO) test -run '^$$' -bench BenchmarkSolveColdVsWarm ./internal/server/
+
+## serve: run the scheduling daemon on the default ports
+serve:
+	$(GO) run ./cmd/schedd
+
+## serve-smoke: boot schedd, solve one instance over HTTP, assert clean shutdown
+serve-smoke:
+	$(GO) test -race -run TestServeSmoke -count=1 -v ./cmd/schedd/
+
 ## fuzz: a short fuzzing pass over the sparse-safety and decoder targets
 fuzz:
 	$(GO) test -fuzz FuzzSparseNeverOverAdmits -fuzztime 30s ./internal/sched/
-	$(GO) test -fuzz FuzzRead -fuzztime 30s ./internal/network/
+	$(GO) test -fuzz 'FuzzRead$$' -fuzztime 30s ./internal/network/
+	$(GO) test -fuzz FuzzReadLinkSet -fuzztime 30s ./internal/network/
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,129 @@
+// Command schedd is the Fading-R-LS scheduling daemon: a long-running
+// HTTP service answering one-shot link-capacity queries over the
+// registered solvers.
+//
+//	schedd -addr :8080 -debug-addr 127.0.0.1:6060
+//
+// POST /v1/solve takes a JSON link set plus model parameters and
+// returns the activation set with per-link success probabilities; see
+// the README's "Serving" section for the schema. GET /v1/algorithms
+// lists the registry; /debug/vars serves expvar metrics; the debug
+// address additionally serves net/http/pprof and should stay on
+// loopback. SIGINT/SIGTERM drain in-flight solves before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// publishOnce guards the process-global expvar registration so tests
+// can call run repeatedly in one process (expvar.Publish panics on
+// duplicate names).
+var publishOnce sync.Once
+
+// run boots the daemon with explicit args and log sink, serves until
+// ctx is canceled, then drains in-flight requests. Tests drive it end
+// to end: the actual listen addresses are announced on out.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "API listen address")
+		debugAddr = fs.String("debug-addr", "127.0.0.1:6060", "private pprof/metrics listen address ('' disables)")
+		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		cacheSize = fs.Int("cache", 256, "result cache capacity in responses (negative disables)")
+		maxBody   = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
+		maxLinks  = fs.Int("max-links", 20000, "per-request instance size limit")
+		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
+		maxTO     = fs.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
+		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		MaxBodyBytes:   *maxBody,
+		MaxLinks:       *maxLinks,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+	})
+	publishOnce.Do(func() { expvar.Publish("schedd", srv.Metrics().Vars()) })
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "schedd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	errs := make(chan error, 2)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errs <- err
+		}
+	}()
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			httpSrv.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "schedd: debug (pprof, expvar) on %s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); !errors.Is(err, http.ErrServerClosed) {
+				errs <- err
+			}
+		}()
+	}
+
+	select {
+	case err := <-errs:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight solves finish under their
+	// own request deadlines, capped by the drain budget.
+	fmt.Fprintf(out, "schedd: shutting down, draining in-flight requests\n")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = httpSrv.Shutdown(drainCtx)
+	if debugSrv != nil {
+		if derr := debugSrv.Shutdown(drainCtx); err == nil {
+			err = derr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Fprintf(out, "schedd: clean shutdown\n")
+	return nil
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/network"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes to it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeSmoke is the `make serve-smoke` gate: boot schedd on
+// ephemeral ports, solve one instance over real HTTP, hit the debug
+// port, then cancel and require a clean drain.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0"}, out)
+	}()
+
+	// Wait for both listeners to announce themselves.
+	var apiAddr, debugAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil && strings.Contains(out.String(), "debug") {
+			apiAddr = m[1]
+			if dm := regexp.MustCompile(`debug \(pprof, expvar\) on (\S+)`).FindStringSubmatch(out.String()); dm != nil {
+				debugAddr = dm[1]
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedd never announced listeners; output:\n%s", out.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("schedd exited early: %v\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	ls, err := network.Generate(network.PaperConfig(20), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{
+		"algorithm": "rle",
+		"links":     ls.Links(),
+		"mc_slots":  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/solve", apiAddr), "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("solve request failed: %v", err)
+	}
+	var solved struct {
+		Feasible   bool  `json:"feasible"`
+		Active     []int `json:"active"`
+		Simulation *struct {
+			Slots int `json:"slots"`
+		} `json:"simulation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !solved.Feasible || solved.Simulation == nil {
+		t.Fatalf("smoke solve wrong: status %d, %+v", resp.StatusCode, solved)
+	}
+
+	// The private port serves pprof and the metric map.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/vars", debugAddr))
+	if err != nil {
+		t.Fatalf("debug vars failed: %v", err)
+	}
+	var vars struct {
+		Schedd struct {
+			Requests int64 `json:"requests_total"`
+		} `json:"schedd"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vars.Schedd.Requests < 1 {
+		t.Errorf("metrics did not count the smoke request: %+v", vars)
+	}
+
+	// Clean shutdown on signal (ctx cancel stands in for SIGTERM).
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("schedd did not shut down within 10s")
+	}
+	if !strings.Contains(out.String(), "clean shutdown") {
+		t.Errorf("missing clean-shutdown line:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadFlags keeps the CLI surface honest.
+func TestRunRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-definitely-not-a-flag"}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestRunFailsOnUnbindableAddress covers the startup error path.
+func TestRunFailsOnUnbindableAddress(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:1"}, &syncBuffer{})
+	if err == nil {
+		t.Fatal("unbindable address accepted")
+	}
+}

@@ -26,6 +26,7 @@
 package fadingrls
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -65,6 +66,9 @@ type (
 	Schedule = sched.Schedule
 	// Algorithm is any Fading-R-LS scheduler.
 	Algorithm = sched.Algorithm
+	// ContextAlgorithm is an Algorithm whose solve honors context
+	// cancellation (Exact, DLS) — what schedd aborts on deadline.
+	ContextAlgorithm = sched.ContextAlgorithm
 	// Violation reports one receiver over its feasibility budget.
 	Violation = sched.Violation
 
@@ -212,4 +216,12 @@ func Solve(name string, pr *Problem) (Schedule, error) {
 		return Schedule{}, fmt.Errorf("fadingrls: unknown algorithm %q (have %v)", name, sched.Names())
 	}
 	return a.Schedule(pr), nil
+}
+
+// SolveContext runs a registered algorithm under ctx: context-aware
+// solvers (Exact, DLS) abort mid-search on cancellation, others are
+// checked at the boundaries. This is the entry point long-running
+// services (cmd/schedd) use to honor request deadlines.
+func SolveContext(ctx context.Context, name string, pr *Problem) (Schedule, error) {
+	return sched.SolveContext(ctx, name, pr)
 }

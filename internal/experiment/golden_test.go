@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// goldenRow is one "x,series,mean,ci95,n" record of a checked-in CSV.
+type goldenRow struct {
+	mean, ci float64
+	n        int64
+}
+
+func loadGolden(t *testing.T, path string) map[string]goldenRow {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	out := make(map[string]goldenRow, len(recs)-1)
+	for i, rec := range recs {
+		if i == 0 {
+			continue // header
+		}
+		mean, err1 := strconv.ParseFloat(rec[2], 64)
+		ci, err2 := strconv.ParseFloat(rec[3], 64)
+		n, err3 := strconv.ParseInt(rec[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("%s row %d malformed: %v", path, i, rec)
+		}
+		out[rec[0]+"/"+rec[1]] = goldenRow{mean: mean, ci: ci, n: n}
+	}
+	return out
+}
+
+// TestGoldenFig5Regression regenerates the paper's Fig 5(a)/5(b) rows
+// at the EXPERIMENTS.md seed and diffs every cell against the
+// checked-in results/fig5a.csv and results/fig5b.csv. The sweep is
+// bit-reproducible, so a drifting cell means a solver or simulator
+// refactor changed the paper's curves — exactly the silent breakage
+// this test exists to catch. Tolerance is relative 1e-9: loose enough
+// for decimal-formatting round trips, tight enough that any real
+// change of a schedule or a fading draw fails loudly.
+func TestGoldenFig5Regression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden Fig 5 regeneration (≈4s, more under -race) skipped in -short mode")
+	}
+	specs := Specs()
+	for _, tc := range []struct{ id, file string }{
+		{"fig5a", "fig5a.csv"},
+		{"fig5b", "fig5b.csv"},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			golden := loadGolden(t, filepath.Join("..", "..", "results", tc.file))
+			// Seed 2017, 20 instances, 100 slots: the EXPERIMENTS.md
+			// operating point that produced the checked-in CSVs.
+			tab, err := Run(specs[tc.id], Options{Seed: 2017, Instances: 20, Slots: 100})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells := 0
+			for xi, x := range tab.X {
+				for _, series := range tab.Order {
+					cell := tab.Cell(series, xi)
+					key := fmt.Sprintf("%g/%s", x, series)
+					want, ok := golden[key]
+					if !ok {
+						t.Errorf("cell %s missing from golden %s", key, tc.file)
+						continue
+					}
+					cells++
+					if cell.N() != want.n {
+						t.Errorf("%s: n = %d, golden %d", key, cell.N(), want.n)
+					}
+					if !closeRel(cell.Mean(), want.mean) {
+						t.Errorf("%s: mean = %g, golden %g — a refactor shifted the paper's curve", key, cell.Mean(), want.mean)
+					}
+					if !closeRel(cell.CI95(), want.ci) {
+						t.Errorf("%s: ci95 = %g, golden %g", key, cell.CI95(), want.ci)
+					}
+				}
+			}
+			if cells != len(golden) {
+				t.Errorf("compared %d cells but golden has %d rows", cells, len(golden))
+			}
+		})
+	}
+}
+
+// closeRel is |a−b| ≤ 1e-9·max(1, |a|, |b|).
+func closeRel(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}

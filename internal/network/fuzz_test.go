@@ -2,6 +2,7 @@ package network
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -55,6 +56,96 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.Len() != ls.Len() {
 			t.Fatalf("round trip changed size: %d → %d", ls.Len(), back.Len())
+		}
+	})
+}
+
+// FuzzReadLinkSet is the hostile-input hardening target for the
+// decoder that now also guards the scheduling service's request
+// boundary: whatever bytes arrive, Read must either reject with an
+// error or produce a LinkSet that (a) satisfies every NewLinkSet
+// invariant — finite geometry, positive finite rates, positive
+// lengths, no duplicate sender/receiver locations (the instance-level
+// "IDs") — and (b) round-trips Write→Read losslessly, field for field
+// and byte for byte in canonical form.
+func FuzzReadLinkSet(f *testing.F) {
+	valid, err := Generate(PaperConfig(4), 99, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// NaN / Inf lengths and coordinates (JSON has no NaN literal, so
+	// hostile encodings arrive as overflow values or string smuggling).
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":1e400,"Y":0},"receiver":{"X":1,"Y":0},"rate":1}]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":"NaN","Y":0},"receiver":{"X":1,"Y":0},"rate":1}]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1e999}]}`))
+	// Zero-length link (sender == receiver).
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":3,"Y":4},"receiver":{"X":3,"Y":4},"rate":1}]}`))
+	// Duplicate identities: two links sharing a sender, two sharing a receiver.
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1},{"sender":{"X":0,"Y":0},"receiver":{"X":2,"Y":0},"rate":1}]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1},{"sender":{"X":5,"Y":0},"receiver":{"X":1,"Y":0},"rate":1}]}`))
+	// Negative / zero / absent rates, negative power.
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":0}]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0}}]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1,"power":-2}]}`))
+	// Structural abuse: trailing data, duplicate keys, deep junk.
+	f.Add([]byte(`{"version":1,"links":[]}{"version":1,"links":[]}`))
+	f.Add([]byte(`{"version":1,"version":2,"links":[]}`))
+	f.Add([]byte(`{"version":1,"links":[{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1}]} trailing`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ls, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		seenS := map[[2]float64]bool{}
+		seenR := map[[2]float64]bool{}
+		for i := 0; i < ls.Len(); i++ {
+			l := ls.Link(i)
+			for _, v := range []float64{l.Sender.X, l.Sender.Y, l.Receiver.X, l.Receiver.Y, l.Rate, l.Power} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted non-finite field %v in link %d", v, i)
+				}
+			}
+			if !(ls.Rate(i) > 0) || !(ls.Length(i) > 0) || l.Power < 0 {
+				t.Fatalf("accepted invalid link %d: %+v", i, l)
+			}
+			sk := [2]float64{l.Sender.X, l.Sender.Y}
+			rk := [2]float64{l.Receiver.X, l.Receiver.Y}
+			if seenS[sk] || seenR[rk] {
+				t.Fatalf("accepted duplicate endpoint identity in link %d", i)
+			}
+			seenS[sk], seenR[rk] = true, true
+		}
+		// Lossless round trip: Write→Read must reproduce every field,
+		// and re-serializing must be byte-stable (canonical form).
+		var out1 bytes.Buffer
+		if err := ls.Write(&out1); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		back, err := Read(bytes.NewReader(out1.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != ls.Len() {
+			t.Fatalf("round trip changed size: %d → %d", ls.Len(), back.Len())
+		}
+		for i := 0; i < ls.Len(); i++ {
+			if back.Link(i) != ls.Link(i) {
+				t.Fatalf("link %d changed in round trip: %+v → %+v", i, ls.Link(i), back.Link(i))
+			}
+		}
+		var out2 bytes.Buffer
+		if err := back.Write(&out2); err != nil {
+			t.Fatalf("second serialize failed: %v", err)
+		}
+		if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+			t.Fatalf("canonical form not byte-stable:\n%s\nvs\n%s", out1.Bytes(), out2.Bytes())
 		}
 	})
 }

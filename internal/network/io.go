@@ -24,13 +24,19 @@ func (ls *LinkSet) Write(w io.Writer) error {
 
 // Read parses an instance previously produced by Write, revalidating
 // the links (a hand-edited file goes through the same checks as a
-// generated one).
+// generated one). Unknown fields and trailing data after the instance
+// are rejected: this decoder also guards the network boundary of the
+// scheduling service, where a silently ignored tail is a smuggling
+// vector, not a convenience.
 func Read(r io.Reader) (*LinkSet, error) {
 	var in instanceJSON
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&in); err != nil {
 		return nil, fmt.Errorf("network: decoding instance: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("network: trailing data after instance")
 	}
 	if in.Version != formatVersion {
 		return nil, fmt.Errorf("network: unsupported instance format version %d", in.Version)

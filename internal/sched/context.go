@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+)
+
+// ContextAlgorithm is implemented by algorithms whose search can be
+// aborted mid-solve. ScheduleContext returns ctx.Err() when the
+// context is canceled before the schedule is complete; the partial
+// work is discarded (schedules are all-or-nothing — a half-explored
+// branch-and-bound tree proves nothing about optimality, and a
+// half-run protocol round may be infeasible).
+//
+// The polynomial algorithms (LDP, RLE, the baselines, Greedy) finish
+// in milliseconds even at deployment scale and intentionally do not
+// implement this interface; only the solvers with unbounded or
+// round-structured running time (Exact, DLS) do.
+type ContextAlgorithm interface {
+	Algorithm
+	ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
+}
+
+// ScheduleContext runs a on pr honoring ctx. Context-aware algorithms
+// abort mid-solve; for plain algorithms the context is checked before
+// the (fast, polynomial) solve starts and the result is discarded if
+// the context expired while it ran, so a caller never receives a
+// schedule after its deadline.
+func ScheduleContext(ctx context.Context, a Algorithm, pr *Problem) (Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return Schedule{}, err
+	}
+	if ca, ok := a.(ContextAlgorithm); ok {
+		return ca.ScheduleContext(ctx, pr)
+	}
+	s := a.Schedule(pr)
+	if err := ctx.Err(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
+}
+
+// SolveContext looks up a registered algorithm by name and runs it
+// under ctx — the entry point long-running services use.
+func SolveContext(ctx context.Context, name string, pr *Problem) (Schedule, error) {
+	a, ok := Lookup(name)
+	if !ok {
+		return Schedule{}, fmt.Errorf("sched: unknown algorithm %q (have %v)", name, Names())
+	}
+	return ScheduleContext(ctx, a, pr)
+}

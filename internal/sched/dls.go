@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -59,6 +60,16 @@ const (
 
 // Schedule implements Algorithm.
 func (a DLS) Schedule(pr *Problem) Schedule {
+	s, _ := a.ScheduleContext(context.Background(), pr) // Background never cancels
+	return s
+}
+
+// ScheduleContext implements ContextAlgorithm: cancellation is checked
+// at each synchronous round boundary — the natural preemption point of
+// the protocol, since a half-executed round may leave the tentative
+// set infeasible. On cancellation ctx.Err() is returned and the
+// partial active set is discarded.
+func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error) {
 	rounds := a.Rounds
 	if rounds == 0 {
 		rounds = 48
@@ -95,6 +106,9 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 	}
 
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 		// Local elimination (step 4): links the active set already rules out.
 		undecided := undecidedLinks(state)
 		if len(undecided) == 0 {
@@ -157,7 +171,7 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 		// Step 3: tentative activation + probing rollback.
 		a.commitRound(budget, state, retry, retries, acc, &active, winners)
 	}
-	return NewSchedule(a.Name(), active)
+	return NewSchedule(a.Name(), active), nil
 }
 
 // commitRound applies one round's winners with the NACK rollback and

@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Exact solves Fading-R-LS to optimality by parallel branch-and-bound
@@ -36,6 +38,22 @@ func (Exact) Name() string { return "exact" }
 
 // Schedule implements Algorithm.
 func (e Exact) Schedule(pr *Problem) Schedule {
+	s, err := e.ScheduleContext(context.Background(), pr)
+	if err != nil {
+		// Background is never canceled; any other failure mode panics
+		// inside the search.
+		panic("sched: exact solve failed: " + err.Error())
+	}
+	return s
+}
+
+// ScheduleContext implements ContextAlgorithm: the branch-and-bound
+// workers poll a shared stop flag raised when ctx is canceled, so an
+// abandoned request stops burning cores within a few thousand nodes
+// (microseconds). On cancellation the incumbent is discarded — a
+// partially explored tree carries no optimality certificate — and
+// ctx.Err() is returned.
+func (e Exact) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error) {
 	maxN := e.MaxN
 	if maxN == 0 {
 		maxN = DefaultExactMaxN
@@ -43,8 +61,11 @@ func (e Exact) Schedule(pr *Problem) Schedule {
 	if pr.N() > maxN {
 		panic("sched: Exact solver refused instance larger than MaxN; use the approximation algorithms")
 	}
-	best := exactSolve(pr, e.splitDepth(pr.N()))
-	return NewSchedule("exact", best)
+	best, err := exactSolve(ctx, pr, e.splitDepth(pr.N()))
+	if err != nil {
+		return Schedule{}, err
+	}
+	return NewSchedule("exact", best), nil
 }
 
 func (e Exact) splitDepth(n int) int {
@@ -66,6 +87,10 @@ type exactState struct {
 	mu       sync.Mutex
 	bestRate float64
 	bestSet  []int
+	// stop is raised when the caller's context is canceled; dfs polls
+	// it once per node (an atomic load, negligible next to the node's
+	// feasibility work) and unwinds.
+	stop atomic.Bool
 }
 
 func (st *exactState) offer(rate float64, set []int) {
@@ -83,10 +108,10 @@ func (st *exactState) bound() float64 {
 	return st.bestRate
 }
 
-func exactSolve(pr *Problem, splitDepth int) []int {
+func exactSolve(ctx context.Context, pr *Problem, splitDepth int) ([]int, error) {
 	n := pr.N()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 	// Decision order: descending rate so the additive bound tightens
 	// fast; ties broken by shorter length (easier to keep feasible).
@@ -108,6 +133,10 @@ func exactSolve(pr *Problem, splitDepth int) []int {
 	}
 
 	st := &exactState{}
+	// Propagate cancellation into the search as a flag flip; AfterFunc
+	// costs nothing when ctx can never be canceled.
+	unregister := context.AfterFunc(ctx, func() { st.stop.Store(true) })
+	defer unregister()
 	// Seed the incumbent with Greedy so pruning bites immediately.
 	seed := (Greedy{}).Schedule(pr)
 	st.offer(seed.Throughput(pr), seed.Active)
@@ -155,7 +184,10 @@ func exactSolve(pr *Problem, splitDepth int) []int {
 		}(tk)
 	}
 	wg.Wait()
-	return append([]int(nil), st.bestSet...)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return append([]int(nil), st.bestSet...), nil
 }
 
 // tryInclude returns the accumulator state after adding sender i to
@@ -178,6 +210,9 @@ func tryInclude(pr *Problem, set []int, acc *Accum, i int) (*Accum, bool) {
 }
 
 func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, acc *Accum, rate float64) {
+	if st.stop.Load() {
+		return // caller's context canceled; unwind the whole subtree
+	}
 	if rate+suffixRate[d] <= st.bound()+1e-12 {
 		return // even taking everything left cannot beat the incumbent
 	}

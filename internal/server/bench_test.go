@@ -1,0 +1,59 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// BenchmarkSolveColdVsWarm measures the serving hot path on an
+// n=1000 instance: "cold" resets the result cache every iteration so
+// each request pays the full problem build + solve, "warm" hits the
+// LRU. The gap is the cache's whole value proposition — report both
+// ns/op side by side.
+//
+//	go test -run '^$' -bench BenchmarkSolveColdVsWarm ./internal/server/
+func BenchmarkSolveColdVsWarm(b *testing.B) {
+	ls, err := network.Generate(network.PaperConfig(1000), 42, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(SolveRequest{Algorithm: "rle", Links: ls.Links()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(Config{})
+
+	do := func(b *testing.B, wantCache string) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		if got := rec.Header().Get("X-Cache"); got != wantCache {
+			b.Fatalf("X-Cache = %q, want %q", got, wantCache)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			srv.ResetCache()
+			do(b, "miss")
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv.ResetCache()
+		do(b, "miss") // prime
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b, "hit")
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheKey is the canonical problem hash (see solveRequest.hash).
+type cacheKey [32]byte
+
+// resultCache is a fixed-capacity LRU from canonical problem hashes to
+// encoded response bodies. Storing the serialized bytes — not the
+// decoded result — is what makes a hit byte-identical to the miss that
+// populated it and keeps the hit path allocation-free apart from the
+// response write.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newResultCache returns an LRU holding up to capacity entries; a
+// non-positive capacity disables caching (every get misses).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached body for k, promoting it to most recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) k → body, evicting the least recently
+// used entry when over capacity.
+func (c *resultCache) put(k cacheKey, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, body: body})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// reset empties the cache (benchmarks use this to measure the cold path).
+func (c *resultCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}

@@ -1,0 +1,28 @@
+// Package server implements schedd, the long-running HTTP scheduling
+// service over the Fading-R-LS solvers: POST /v1/solve accepts a JSON
+// link set plus model parameters, runs any registered algorithm
+// through the sched registry under a per-request deadline, optionally
+// Monte-Carlo-validates the schedule, and returns the activation set
+// with per-link success probabilities.
+//
+// The serving pipeline is:
+//
+//	decode (size-capped, strict JSON) → canonical hash → LRU cache
+//	→ bounded worker pool → context-aware solve → verify/simulate
+//	→ encode once, cache, reply
+//
+// Repeated queries on the same topology are O(1): the cache key is a
+// SHA-256 over the exact solve inputs (link geometry, rates, powers,
+// radio parameters, field backend, Monte-Carlo request), and the
+// cached value is the encoded response body, so a hit is byte-
+// identical to the miss that populated it (the X-Cache header is the
+// only difference).
+//
+// Observability is expvar-shaped: request/error counters, latency
+// quantiles (computed with internal/stats over a sliding window),
+// cache hit rate, and an in-flight gauge are served at /debug/vars on
+// the API listener; DebugHandler additionally mounts net/http/pprof
+// for a private port. Graceful shutdown is inherited from
+// http.Server.Shutdown — handlers run to completion, so in-flight
+// solves drain under their own deadlines.
+package server

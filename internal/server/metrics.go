@@ -1,0 +1,129 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyWindow is the number of recent request latencies the quantile
+// estimator keeps. A sliding window (rather than all-time) makes the
+// reported p50/p90/p99 track the current load mix, which is what an
+// operator watching a dashboard needs.
+const latencyWindow = 1024
+
+// Metrics holds schedd's operational counters. Everything lives in an
+// unpublished expvar.Map instead of the process-global expvar registry
+// so multiple Server instances — one per test — never collide on
+// expvar.Publish (which panics on duplicates). The map is exported at
+// /debug/vars by Handler.
+type Metrics struct {
+	vars      *expvar.Map
+	requests  *expvar.Int
+	byCode    *expvar.Map
+	solveErrs *expvar.Int
+	inFlight  *expvar.Int
+	cacheHits *expvar.Int
+	cacheMiss *expvar.Int
+
+	mu     sync.Mutex
+	ring   [latencyWindow]float64 // seconds
+	next   int
+	filled int
+}
+
+// NewMetrics returns an initialized, unpublished metric set.
+func NewMetrics() *Metrics {
+	m := &Metrics{
+		vars:      new(expvar.Map).Init(),
+		requests:  new(expvar.Int),
+		byCode:    new(expvar.Map).Init(),
+		solveErrs: new(expvar.Int),
+		inFlight:  new(expvar.Int),
+		cacheHits: new(expvar.Int),
+		cacheMiss: new(expvar.Int),
+	}
+	m.vars.Set("requests_total", m.requests)
+	m.vars.Set("responses_by_code", m.byCode)
+	m.vars.Set("solve_errors", m.solveErrs)
+	m.vars.Set("in_flight", m.inFlight)
+	m.vars.Set("cache_hits", m.cacheHits)
+	m.vars.Set("cache_misses", m.cacheMiss)
+	m.vars.Set("cache_hit_rate", expvar.Func(m.hitRate))
+	m.vars.Set("latency_seconds", expvar.Func(m.latencyQuantiles))
+	return m
+}
+
+// Vars returns the underlying expvar map, for callers that want to
+// publish it into the process-global registry (cmd/schedd does, once).
+func (m *Metrics) Vars() *expvar.Map { return m.vars }
+
+// RequestStarted bumps the in-flight gauge and returns the completion
+// callback the middleware defers: it records the status code and the
+// latency and drops the gauge.
+func (m *Metrics) RequestStarted() func(code int, elapsed time.Duration) {
+	m.requests.Add(1)
+	m.inFlight.Add(1)
+	return func(code int, elapsed time.Duration) {
+		m.inFlight.Add(-1)
+		m.byCode.Add(strconv.Itoa(code), 1)
+		m.mu.Lock()
+		m.ring[m.next] = elapsed.Seconds()
+		m.next = (m.next + 1) % latencyWindow
+		if m.filled < latencyWindow {
+			m.filled++
+		}
+		m.mu.Unlock()
+	}
+}
+
+// SolveError counts a failed solve (as opposed to a rejected request).
+func (m *Metrics) SolveError() { m.solveErrs.Add(1) }
+
+// CacheHit / CacheMiss feed the hit-rate gauge.
+func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
+func (m *Metrics) CacheMiss() { m.cacheMiss.Add(1) }
+
+// InFlight returns the current gauge value (used by tests).
+func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }
+
+func (m *Metrics) hitRate() interface{} {
+	h, s := m.cacheHits.Value(), m.cacheMiss.Value()
+	if h+s == 0 {
+		return 0.0
+	}
+	return float64(h) / float64(h+s)
+}
+
+func (m *Metrics) latencyQuantiles() interface{} {
+	m.mu.Lock()
+	sample := make([]float64, m.filled)
+	if m.filled == latencyWindow {
+		copy(sample, m.ring[:])
+	} else {
+		copy(sample, m.ring[:m.filled])
+	}
+	m.mu.Unlock()
+	out := map[string]interface{}{"count": len(sample)}
+	if len(sample) == 0 {
+		return out
+	}
+	qs := stats.Quantiles(sample, 0.5, 0.9, 0.99)
+	out["p50"], out["p90"], out["p99"] = qs[0], qs[1], qs[2]
+	return out
+}
+
+// Handler serves the metric map in expvar's JSON wire format, nested
+// under "schedd" so the output is drop-in compatible with expvar
+// scrapers pointed at a stock /debug/vars.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		fmt.Fprintf(w, "{\n%q: %s\n}\n", "schedd", m.vars.String())
+	})
+}

@@ -1,0 +1,38 @@
+package server
+
+import "context"
+
+// pool bounds the number of concurrently executing solves. Admission
+// is a counting semaphore rather than a fixed goroutine set: the
+// handler goroutine already exists (net/http spawned it), so all the
+// pool must guarantee is that at most size solves run CPU-heavy work
+// at once while queued requests keep their context deadlines — a
+// request that spends its whole budget waiting for a slot fails with
+// the same deadline error as one that timed out solving.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(size int) *pool {
+	if size < 1 {
+		size = 1
+	}
+	return &pool{sem: make(chan struct{}, size)}
+}
+
+// acquire blocks until a slot is free or ctx is done, returning
+// ctx.Err() in the latter case.
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot acquired with acquire.
+func (p *pool) release() { <-p.sem }
+
+// cap returns the pool size.
+func (p *pool) capacity() int { return cap(p.sem) }

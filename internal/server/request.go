@@ -1,0 +1,204 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/sched"
+)
+
+// SolveRequest is the wire form of one POST /v1/solve query. Radio
+// parameters are flat and optional — a zero field means "the paper's
+// default" (radio.DefaultParams), so the minimal request is just an
+// algorithm name and a link list.
+type SolveRequest struct {
+	// Algorithm is a sched registry name ("ldp", "rle", "exact", ...).
+	Algorithm string `json:"algorithm"`
+	// Links is the instance; it goes through the same validation as a
+	// file loaded with network.Read.
+	Links []network.Link `json:"links"`
+
+	// Radio parameters (0 = paper default for that field).
+	Alpha   float64 `json:"alpha,omitempty"`
+	GammaTh float64 `json:"gamma_th,omitempty"`
+	Eps     float64 `json:"eps,omitempty"`
+	Power   float64 `json:"power,omitempty"`
+	N0      float64 `json:"n0,omitempty"`
+
+	// Field selects the interference backend: "" or "dense" for the
+	// exact matrix, "sparse" for the truncated near-field; Cutoff
+	// configures the sparse truncation (0 = backend default).
+	Field  string  `json:"field,omitempty"`
+	Cutoff float64 `json:"cutoff,omitempty"`
+
+	// TimeoutMS caps this request's solve time; 0 uses the server
+	// default, and values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MCSlots > 0 requests Monte-Carlo validation of the schedule with
+	// that many Rayleigh realizations via internal/mc; MCSeed anchors
+	// the draws (same seed ⇒ same simulation, which keeps responses
+	// cacheable).
+	MCSlots int    `json:"mc_slots,omitempty"`
+	MCSeed  uint64 `json:"mc_seed,omitempty"`
+}
+
+// maxMCSlots caps per-request simulation effort: one request must not
+// buy unbounded CPU.
+const maxMCSlots = 100_000
+
+// params resolves the request's radio parameters over the defaults.
+func (q *SolveRequest) params() radio.Params {
+	p := radio.DefaultParams()
+	if q.Alpha != 0 {
+		p.Alpha = q.Alpha
+	}
+	if q.GammaTh != 0 {
+		p.GammaTh = q.GammaTh
+	}
+	if q.Eps != 0 {
+		p.Eps = q.Eps
+	}
+	if q.Power != 0 {
+		p.Power = q.Power
+	}
+	if q.N0 != 0 {
+		p.N0 = q.N0
+	}
+	return p
+}
+
+// validate rejects requests before any expensive work: unknown
+// algorithm, oversized instance, out-of-domain parameters, unknown
+// field backend, or a malformed simulation ask.
+func (q *SolveRequest) validate(maxLinks int) error {
+	if q.Algorithm == "" {
+		return fmt.Errorf("missing algorithm (have %v)", sched.Names())
+	}
+	if _, ok := sched.Lookup(q.Algorithm); !ok {
+		return fmt.Errorf("unknown algorithm %q (have %v)", q.Algorithm, sched.Names())
+	}
+	if len(q.Links) > maxLinks {
+		return fmt.Errorf("instance too large: %d links > limit %d", len(q.Links), maxLinks)
+	}
+	if err := q.params().Validate(); err != nil {
+		return fmt.Errorf("invalid radio params: %w", err)
+	}
+	if _, err := q.fieldOption(); err != nil {
+		return err
+	}
+	if q.MCSlots < 0 || q.MCSlots > maxMCSlots {
+		return fmt.Errorf("mc_slots %d outside [0, %d]", q.MCSlots, maxMCSlots)
+	}
+	if q.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms %d must be ≥ 0", q.TimeoutMS)
+	}
+	return nil
+}
+
+// fieldOption resolves the backend selector.
+func (q *SolveRequest) fieldOption() (sched.Option, error) {
+	name := q.Field
+	if name == "" {
+		name = "dense"
+	}
+	return sched.FieldOption(name, q.Cutoff)
+}
+
+// problem validates the links and builds the scheduling instance.
+func (q *SolveRequest) problem() (*sched.Problem, error) {
+	ls, err := network.NewLinkSet(q.Links)
+	if err != nil {
+		return nil, fmt.Errorf("invalid links: %w", err)
+	}
+	opt, err := q.fieldOption()
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewProblem(ls, q.params(), opt)
+}
+
+// hash is the canonical problem key: a SHA-256 over every input that
+// determines the response body — algorithm, resolved radio parameters,
+// field backend config, Monte-Carlo ask, and the exact link geometry
+// as IEEE-754 bit patterns. TimeoutMS is deliberately excluded: the
+// deadline changes whether an answer arrives, never which answer.
+func (q *SolveRequest) hash() cacheKey {
+	h := sha256.New()
+	var scratch [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		h.Write(scratch[:])
+	}
+	writeS := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	writeS("schedd/v1")
+	writeS(q.Algorithm)
+	p := q.params()
+	for _, v := range []float64{p.Alpha, p.GammaTh, p.Eps, p.Power, p.N0} {
+		writeF(v)
+	}
+	field := q.Field
+	if field == "" {
+		field = "dense"
+	}
+	writeS(field)
+	writeF(q.Cutoff)
+	binary.LittleEndian.PutUint64(scratch[:], uint64(q.MCSlots))
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], q.MCSeed)
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(q.Links)))
+	h.Write(scratch[:])
+	for _, l := range q.Links {
+		writeF(l.Sender.X)
+		writeF(l.Sender.Y)
+		writeF(l.Receiver.X)
+		writeF(l.Receiver.Y)
+		writeF(l.Rate)
+		writeF(l.Power)
+	}
+	return cacheKey(h.Sum(nil))
+}
+
+// SolveResponse is the wire form of a successful solve.
+type SolveResponse struct {
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// Field echoes the backend the instance was built with.
+	Field string `json:"field"`
+	// Active is the activation set, ascending link indices.
+	Active []int `json:"active"`
+	// Throughput is Σλ over the scheduled links (the paper's U(P)).
+	Throughput float64 `json:"throughput"`
+	// Feasible is the independent Corollary 3.1 verification verdict.
+	Feasible bool `json:"feasible"`
+	// SuccessProb is each scheduled link's Theorem 3.1 success
+	// probability, indexed like Active.
+	SuccessProb []float64 `json:"success_prob"`
+	// ExpectedFailures is the analytic per-slot expectation of failed
+	// transmissions.
+	ExpectedFailures float64 `json:"expected_failures"`
+	// Simulation is present when mc_slots > 0 requested validation.
+	Simulation *SimulationResult `json:"simulation,omitempty"`
+}
+
+// SimulationResult summarizes the optional Monte-Carlo validation.
+type SimulationResult struct {
+	Slots        int     `json:"slots"`
+	MeanFailures float64 `json:"mean_failures"`
+	CI95         float64 `json:"ci95"`
+	FailureRate  float64 `json:"failure_rate"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"repro/internal/mc"
+	"repro/internal/sched"
+)
+
+// Config sizes the service. The zero value of every field selects a
+// sensible default, so server.New(server.Config{}) is a working daemon.
+type Config struct {
+	// Workers bounds concurrently executing solves (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU capacity in responses (0 = 256, negative
+	// disables caching).
+	CacheSize int
+	// MaxBodyBytes caps the request body (0 = 8 MiB). Larger bodies
+	// get 413.
+	MaxBodyBytes int64
+	// MaxLinks caps the instance size per request (0 = 20000).
+	MaxLinks int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (0 = 30s); MaxTimeout clamps what a request may ask for (0 = 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxLinks <= 0 {
+		c.MaxLinks = 20000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the schedd request pipeline: decode → cache → pool →
+// solve → encode. It is an http.Handler; lifecycle (listeners,
+// signals, graceful shutdown) belongs to the caller (cmd/schedd), so
+// tests can drive it with httptest directly.
+type Server struct {
+	cfg     Config
+	pool    *pool
+	cache   *resultCache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    newPool(cfg.Workers),
+		cache:   newResultCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.Handle("GET /debug/vars", s.metrics.Handler())
+	return s
+}
+
+// Metrics exposes the server's counters (cmd/schedd publishes them
+// into the global expvar registry; tests read them directly).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ResetCache empties the result cache. Benchmarks use it to measure
+// the cold path; operators can curl it away via a restart instead, so
+// it is intentionally not routed.
+func (s *Server) ResetCache() { s.cache.reset() }
+
+// ServeHTTP implements http.Handler with the metrics middleware
+// wrapped around the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	done := s.metrics.RequestStarted()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	done(rec.code, time.Since(start))
+}
+
+// DebugHandler returns the private-side handler: pprof plus the same
+// metric map. cmd/schedd binds it to a loopback-only port — profiling
+// endpoints can stall the world and must not face traffic.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", s.metrics.Handler())
+	return mux
+}
+
+// statusRecorder captures the response code for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"algorithms": sched.Names()})
+}
+
+// handleSolve is the serving hot path.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, "trailing data after request")
+		return
+	}
+	if err := req.validate(s.cfg.MaxLinks); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := req.hash()
+	if cached, ok := s.cache.get(key); ok {
+		s.metrics.CacheHit()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.Write(cached)
+		return
+	}
+	s.metrics.CacheMiss()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// Queueing counts against the request's own deadline: a saturated
+	// pool turns into 504s instead of an unbounded queue.
+	if err := s.pool.acquire(ctx); err != nil {
+		writeSolveFailure(w, err)
+		return
+	}
+	defer s.pool.release()
+
+	pr, err := req.problem()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	schedule, err := solve(ctx, req.Algorithm, pr)
+	if err != nil {
+		s.metrics.SolveError()
+		var refused *solverRefusedError
+		if errors.As(err, &refused) {
+			writeError(w, http.StatusBadRequest, refused.Error())
+			return
+		}
+		writeSolveFailure(w, err)
+		return
+	}
+
+	resp := &SolveResponse{
+		Algorithm:        req.Algorithm,
+		N:                pr.N(),
+		Field:            pr.FieldName(),
+		Active:           schedule.Active,
+		Throughput:       schedule.Throughput(pr),
+		Feasible:         sched.Feasible(pr, schedule),
+		SuccessProb:      sched.SuccessProbabilities(pr, schedule),
+		ExpectedFailures: sched.ExpectedFailures(pr, schedule),
+	}
+	if req.MCSlots > 0 {
+		if err := ctx.Err(); err != nil { // don't start a sim after the deadline
+			writeSolveFailure(w, err)
+			return
+		}
+		sim, err := mc.Simulate(pr, schedule, mc.Config{Slots: req.MCSlots, Seed: req.MCSeed, Workers: 1})
+		if err != nil {
+			s.metrics.SolveError()
+			writeError(w, http.StatusInternalServerError, "simulation failed: "+err.Error())
+			return
+		}
+		resp.Simulation = &SimulationResult{
+			Slots:        sim.Slots,
+			MeanFailures: sim.Failures.Mean(),
+			CI95:         sim.Failures.CI95(),
+			FailureRate:  sim.FailureRate(),
+		}
+	}
+
+	encoded, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
+	}
+	encoded = append(encoded, '\n')
+	s.cache.put(key, encoded)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(encoded)
+}
+
+// solverRefusedError marks a solver panic on otherwise-valid input —
+// a library-level contract refusal (Exact's MaxN cap is the documented
+// case), which the API reports as the client's problem.
+type solverRefusedError struct{ reason string }
+
+func (e *solverRefusedError) Error() string { return e.reason }
+
+// solve runs the algorithm, converting solver panics into errors so a
+// valid-JSON request can never drop the connection: the library's
+// panic contracts (Exact refusing n > MaxN) are programmer guards, not
+// acceptable daemon behavior.
+func solve(ctx context.Context, name string, pr *sched.Problem) (s sched.Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &solverRefusedError{reason: fmt.Sprintf("solver %q refused the instance: %v", name, r)}
+		}
+	}()
+	return sched.SolveContext(ctx, name, pr)
+}
+
+// writeSolveFailure maps context errors onto HTTP: a spent deadline is
+// 504 (the server gave the request its full budget), a client
+// disconnect is nginx's 499 convention (nobody is listening, but the
+// metrics middleware still wants a truthful code).
+func writeSolveFailure(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "solve deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, "request canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -21,8 +21,16 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race"
-# -short skips the 20000-link sparse scale test, which the race
-# detector slows past usefulness; run `make test-full` for it.
+# -short skips the 20000-link sparse scale test (race-slowed past
+# usefulness) and the golden Fig 5 regeneration; `make test-full`
+# runs both. ./... covers every package, including the schedd serving
+# stack (internal/server, cmd/schedd) whose suites double as the
+# concurrency race tests for the pool, cache, and metrics.
 go test -race -short ./...
+
+echo "== serve smoke"
+# Boot the daemon end to end: listen, solve one instance over HTTP,
+# scrape metrics, drain cleanly.
+go test -race -run TestServeSmoke -count=1 ./cmd/schedd/
 
 echo "ok"
