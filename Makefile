@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench bench-serve build fmt vet fuzz serve serve-smoke
+.PHONY: check test test-full bench bench-serve bench-obs build fmt vet fuzz serve serve-smoke metrics-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -33,6 +33,14 @@ serve:
 ## serve-smoke: boot schedd, solve one instance over HTTP, assert clean shutdown
 serve-smoke:
 	$(GO) test -race -run TestServeSmoke -count=1 -v ./cmd/schedd/
+
+## metrics-smoke: boot schedd, check /metrics, response stats, and trace-ID logs agree
+metrics-smoke:
+	$(GO) test -race -run TestMetricsSmoke -count=1 -v ./cmd/schedd/
+
+## bench-obs: tracer overhead (disabled path must stay 0 allocs/op)
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer' ./internal/obs/
 
 ## fuzz: a short fuzzing pass over the sparse-safety and decoder targets
 fuzz:

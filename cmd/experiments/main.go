@@ -11,15 +11,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	fadingrls "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,9 +47,14 @@ func run(args []string, out io.Writer) error {
 		trials    = fs.Int("trials", 0, "Monte-Carlo trials per thm31 row (0 = 100000)")
 		field     = fs.String("field", "dense", "interference backend for every sweep problem: dense or sparse")
 		cutoff    = fs.Float64("cutoff", 0, "sparse backend truncation cutoff (0 = default)")
+		verbose   = fs.Bool("v", false, "log per-experiment progress (start, duration) to the output stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger := obs.Discard()
+	if *verbose {
+		logger = obs.NewLogger(out, obs.LogConfig{})
 	}
 
 	fieldOpt, err := fadingrls.FieldOption(*field, *cutoff)
@@ -78,14 +87,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	ec := emitConfig{
+		csvDir: *csvDir, chart: *chart,
+		seed: *seed, instances: *instances, slots: *slots,
+		field: *field, cutoff: *cutoff,
+		log: logger,
+	}
 	for _, id := range ids {
+		logger.Info("experiment start", slog.String("id", id),
+			slog.Int("instances", *instances), slog.Int("slots", *slots))
+		start := time.Now()
 		switch id {
 		case "ratio":
 			tab, err := fadingrls.RunRatioTable(opts)
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		case "thm31":
@@ -96,7 +114,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		case "traffic":
@@ -104,7 +122,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		case "diversity":
@@ -112,7 +130,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		case "staleness":
@@ -120,7 +138,7 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		default:
@@ -128,37 +146,88 @@ func run(args []string, out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			if err := emit(out, tab, id, *csvDir, *chart); err != nil {
+			if err := emit(out, tab, id, ec); err != nil {
 				return err
 			}
 		}
+		logger.Info("experiment done", slog.String("id", id),
+			obs.DurationSeconds("duration", time.Since(start)))
 	}
 	return nil
 }
 
-func emit(out io.Writer, tab *fadingrls.ResultTable, id, csvDir string, chart bool) error {
+// emitConfig carries the run parameters emit records into each
+// experiment's manifest, plus the progress logger.
+type emitConfig struct {
+	csvDir    string
+	chart     bool
+	seed      uint64
+	instances int
+	slots     int
+	field     string
+	cutoff    float64
+	log       *slog.Logger
+}
+
+// manifest is the JSON provenance record written next to each CSV: the
+// exact knobs that produced the file, so a results directory is
+// self-describing long after the shell history is gone.
+type manifest struct {
+	ID          string    `json:"id"`
+	Title       string    `json:"title"`
+	Seed        uint64    `json:"seed"`
+	Instances   int       `json:"instances"`
+	Slots       int       `json:"slots"`
+	Field       string    `json:"field"`
+	Cutoff      float64   `json:"cutoff,omitempty"`
+	Series      []string  `json:"series"`
+	Xs          []float64 `json:"xs"`
+	GeneratedAt string    `json:"generated_at"`
+}
+
+func emit(out io.Writer, tab *fadingrls.ResultTable, id string, cfg emitConfig) error {
 	if err := tab.Render(out); err != nil {
 		return err
 	}
 	fmt.Fprintln(out)
-	if chart {
+	if cfg.chart {
 		if err := tab.RenderChart(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 	}
-	if csvDir == "" {
+	if cfg.csvDir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+	if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(csvDir, id+".csv"))
+	csvPath := filepath.Join(cfg.csvDir, id+".csv")
+	f, err := os.Create(csvPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return tab.RenderCSV(f)
+	if err := tab.RenderCSV(f); err != nil {
+		return err
+	}
+	m := manifest{
+		ID: id, Title: tab.Title,
+		Seed: cfg.seed, Instances: cfg.instances, Slots: cfg.slots,
+		Field: cfg.field, Cutoff: cfg.cutoff,
+		Series: tab.Order, Xs: tab.X,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	encoded, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	manifestPath := filepath.Join(cfg.csvDir, id+".manifest.json")
+	if err := os.WriteFile(manifestPath, append(encoded, '\n'), 0o644); err != nil {
+		return err
+	}
+	cfg.log.Info("results written", slog.String("csv", csvPath), slog.String("manifest", manifestPath))
+	return nil
 }
 
 func printThm31(out io.Writer, rows []fadingrls.Thm31Row) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,6 +52,47 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "x,series,mean,ci95,n\n") {
 		t.Errorf("CSV header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestManifestWrittenNextToCSV(t *testing.T) {
+	dir := t.TempDir()
+	runCLI(t, append([]string{"-fig", "fig6a", "-csv", dir, "-seed", "7"}, quick...)...)
+	data, err := os.ReadFile(filepath.Join(dir, "fig6a.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		ID          string    `json:"id"`
+		Title       string    `json:"title"`
+		Seed        uint64    `json:"seed"`
+		Instances   int       `json:"instances"`
+		Slots       int       `json:"slots"`
+		Field       string    `json:"field"`
+		Series      []string  `json:"series"`
+		Xs          []float64 `json:"xs"`
+		GeneratedAt string    `json:"generated_at"`
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("manifest not valid JSON: %v\n%s", err, data)
+	}
+	if m.ID != "fig6a" || m.Seed != 7 || m.Instances != 2 || m.Slots != 10 || m.Field != "dense" {
+		t.Errorf("manifest parameters wrong: %+v", m)
+	}
+	if !strings.Contains(m.Title, "Fig 6(a)") {
+		t.Errorf("manifest title = %q", m.Title)
+	}
+	if len(m.Series) == 0 || len(m.Xs) == 0 || m.GeneratedAt == "" {
+		t.Errorf("manifest incomplete: %+v", m)
+	}
+}
+
+func TestVerboseProgressLogs(t *testing.T) {
+	out := runCLI(t, append([]string{"-fig", "fig6a", "-v"}, quick...)...)
+	for _, tok := range []string{"experiment start", "experiment done", "id=fig6a", "duration="} {
+		if !strings.Contains(out, tok) {
+			t.Errorf("-v output missing %q:\n%s", tok, out)
+		}
 	}
 }
 

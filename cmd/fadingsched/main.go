@@ -11,13 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	fadingrls "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -53,9 +58,16 @@ func run(args []string, out io.Writer) error {
 
 		load = fs.String("load", "", "load instance JSON instead of generating")
 		save = fs.String("save", "", "save the instance JSON and exit")
+
+		verbose = fs.Bool("v", false, "log solve progress (start, duration) to the output stream")
+		trace   = fs.Bool("trace", false, "print each solve's phase timings and algorithm counters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger := obs.Discard()
+	if *verbose {
+		logger = obs.NewLogger(out, obs.LogConfig{})
 	}
 
 	var (
@@ -126,10 +138,20 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-16s skipped (exact solver caps at 24 links)\n", name)
 			continue
 		}
-		s, err := fadingrls.Solve(name, pr)
+		var tr *obs.Tracer
+		ctx := context.Background()
+		if *trace {
+			tr = obs.NewTracer()
+			ctx = obs.WithTracer(ctx, tr)
+		}
+		logger.Info("solve start", slog.String("algorithm", name), slog.Int("links", ls.Len()))
+		solveStart := time.Now()
+		s, err := fadingrls.SolveContext(ctx, name, pr)
 		if err != nil {
 			return err
 		}
+		logger.Info("solve done", slog.String("algorithm", name),
+			slog.Int("scheduled", s.Len()), obs.DurationSeconds("duration", time.Since(solveStart)))
 		viol := fadingrls.Verify(pr, s)
 		fmt.Fprintf(out, "%-16s links=%-4d throughput=%-8.4g feasible=%-5v expected-failures/slot=%.4g\n",
 			name, s.Len(), s.Throughput(pr), len(viol) == 0, fadingrls.ExpectedFailures(pr, s))
@@ -139,6 +161,9 @@ func run(args []string, out io.Writer) error {
 				break
 			}
 			fmt.Fprintf(out, "%-16s   violation: %v\n", "", v)
+		}
+		if *trace {
+			printTrace(out, tr.Stats())
 		}
 		if *slots > 0 {
 			res, err := fadingrls.Simulate(pr, s, fadingrls.SimConfig{Slots: *slots, Seed: *seed})
@@ -150,4 +175,23 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printTrace renders one solve's phase timings and counters under the
+// result line, phases in execution order, counters alphabetically.
+func printTrace(out io.Writer, st *fadingrls.SolveStats) {
+	if st == nil {
+		return
+	}
+	for _, ph := range st.Phases {
+		fmt.Fprintf(out, "%-16s   phase %-12s %.6fs\n", "", ph.Name, ph.Seconds)
+	}
+	keys := make([]string, 0, len(st.Counters))
+	for k := range st.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "%-16s   counter %-18s %d\n", "", k, st.Counters[k])
+	}
 }

@@ -67,6 +67,24 @@ func TestCustomModelFlags(t *testing.T) {
 	}
 }
 
+func TestTraceFlagPrintsPhasesAndCounters(t *testing.T) {
+	out := runCLI(t, "-n", "30", "-seed", "5", "-algo", "rle", "-trace")
+	for _, tok := range []string{"phase sort", "phase eliminate", "counter links", "counter picks", "counter scheduled"} {
+		if !strings.Contains(out, tok) {
+			t.Errorf("-trace output missing %q:\n%s", tok, out)
+		}
+	}
+}
+
+func TestVerboseFlagLogsSolves(t *testing.T) {
+	out := runCLI(t, "-n", "30", "-seed", "5", "-algo", "ldp", "-v")
+	for _, tok := range []string{"solve start", "solve done", "algorithm=ldp", "duration="} {
+		if !strings.Contains(out, tok) {
+			t.Errorf("-v output missing %q:\n%s", tok, out)
+		}
+	}
+}
+
 func TestViolationsReportedForBaseline(t *testing.T) {
 	out := runCLI(t, "-n", "300", "-algo", "approxdiversity")
 	if !strings.Contains(out, "feasible=false") || !strings.Contains(out, "violation:") {

@@ -5,11 +5,14 @@
 //	schedd -addr :8080 -debug-addr 127.0.0.1:6060
 //
 // POST /v1/solve takes a JSON link set plus model parameters and
-// returns the activation set with per-link success probabilities; see
-// the README's "Serving" section for the schema. GET /v1/algorithms
-// lists the registry; /debug/vars serves expvar metrics; the debug
-// address additionally serves net/http/pprof and should stay on
-// loopback. SIGINT/SIGTERM drain in-flight solves before exit.
+// returns the activation set (with solver trace stats) and per-link
+// success probabilities; see the README's "Serving" section for the
+// schema. GET /v1/algorithms lists the registry; GET /metrics serves
+// Prometheus text exposition; /debug/vars serves expvar metrics; the
+// debug address additionally serves net/http/pprof and should stay on
+// loopback. Structured access logs (-log-format, -log-level) carry the
+// same per-request trace ID the X-Trace-Id response header reports.
+// SIGINT/SIGTERM drain in-flight solves before exit.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -27,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -59,10 +64,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		maxTO     = fs.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("bad -log-format %q (want text or json)", *logFormat)
+	}
+	logger := obs.NewLogger(out, obs.LogConfig{Level: level, JSON: *logFormat == "json"})
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -71,6 +86,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxLinks:       *maxLinks,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTO,
+		Logger:         logger,
 	})
 	publishOnce.Do(func() { expvar.Publish("schedd", srv.Metrics().Vars()) })
 

@@ -132,6 +132,99 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestMetricsSmoke is the `make metrics-smoke` gate: boot schedd with
+// JSON logs, drive one solve, and check the three observability
+// surfaces agree — the Prometheus scrape moved, the response carried
+// solver stats and a trace ID, and the access log carried the same
+// trace ID.
+func TestMetricsSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", "", "-log-format", "json"}, out)
+	}()
+
+	var apiAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			apiAddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedd never announced its listener; output:\n%s", out.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("schedd exited early: %v\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	ls, err := network.Generate(network.PaperConfig(12), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{"algorithm": "ldp", "links": ls.Links()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/v1/solve", apiAddr), "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatalf("solve request failed: %v", err)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	var solved struct {
+		Stats *struct {
+			Algorithm string `json:"algorithm"`
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&solved); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if traceID == "" {
+		t.Error("solve response missing X-Trace-Id")
+	}
+	if solved.Stats == nil || solved.Stats.Algorithm != "ldp" {
+		t.Errorf("solve response missing solver stats: %+v", solved.Stats)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/metrics", apiAddr))
+	if err != nil {
+		t.Fatalf("metrics scrape failed: %v", err)
+	}
+	scrape := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(scrape)
+	resp.Body.Close()
+	exposition := string(scrape[:n])
+	for _, want := range []string{
+		"# TYPE schedd_requests_total counter",
+		`schedd_solves_total{algorithm="ldp"} 1`,
+		"schedd_request_duration_seconds_count",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("scrape missing %q:\n%s", want, exposition)
+		}
+	}
+
+	if !strings.Contains(out.String(), fmt.Sprintf("%q:%q", "trace_id", traceID)) {
+		t.Errorf("access log missing trace_id %s:\n%s", traceID, out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("schedd did not shut down within 10s")
+	}
+}
+
 // TestRunRejectsBadFlags keeps the CLI surface honest.
 func TestRunRejectsBadFlags(t *testing.T) {
 	err := run(context.Background(), []string{"-definitely-not-a-flag"}, &syncBuffer{})

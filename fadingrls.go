@@ -33,6 +33,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mc"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/sched"
 )
@@ -115,6 +116,28 @@ type (
 	// AdaptiveSimConfig configures precision-targeted simulation.
 	AdaptiveSimConfig = mc.AdaptiveConfig
 )
+
+// Observability.
+type (
+	// Tracer collects one solve's phase timings and algorithm counters;
+	// install with WithTracer and hand the context to SolveContext. A
+	// nil *Tracer is the disabled state — every method no-ops.
+	Tracer = obs.Tracer
+	// SolveStats is a Tracer snapshot: phases in execution order plus
+	// counters (see obs.Key* for the vocabulary).
+	SolveStats = obs.SolveStats
+	// PhaseStat is one solver phase's accumulated wall time.
+	PhaseStat = obs.PhaseStat
+)
+
+// NewTracer returns an enabled solve tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// WithTracer returns a context carrying tr; SolveContext routes it into
+// the algorithm.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return obs.WithTracer(ctx, tr)
+}
 
 // DefaultParams returns the paper's evaluation parameters
 // (α = 3, γ_th = 1, ε = 0.01, P = 1, zero noise).

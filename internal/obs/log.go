@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// NewTraceID returns a fresh 16-hex-char request trace ID. IDs come
+// from crypto/rand; under entropy failure (never on supported
+// platforms) a process-local counter keeps them unique, because a
+// missing trace ID is worse for an operator than a predictable one.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := fallbackID.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallbackID atomic.Uint64
+
+type traceIDKey struct{}
+
+// WithTraceID returns a context carrying the request trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "" when absent.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// ctxHandler decorates an slog.Handler so every record logged with a
+// context that carries a trace ID gains a trace_id attribute — the
+// join key across access logs, solver traces, and cache lines.
+type ctxHandler struct{ inner slog.Handler }
+
+func (h ctxHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h ctxHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := TraceIDFrom(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h ctxHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return ctxHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h ctxHandler) WithGroup(name string) slog.Handler {
+	return ctxHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewHandler wraps any slog.Handler with trace-ID injection.
+func NewHandler(inner slog.Handler) slog.Handler { return ctxHandler{inner: inner} }
+
+// LogConfig selects the output shape of NewLogger.
+type LogConfig struct {
+	// Level is the minimum level (default Info).
+	Level slog.Level
+	// JSON selects slog's JSON handler over the text handler.
+	JSON bool
+}
+
+// NewLogger builds the repository's standard structured logger:
+// text or JSON records on w, trace-ID injection on every record.
+func NewLogger(w io.Writer, cfg LogConfig) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: cfg.Level}
+	var h slog.Handler
+	if cfg.JSON {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(NewHandler(h))
+}
+
+// Discard returns a logger that drops everything — the default for
+// library callers (and tests) that did not configure logging.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler is a zero-cost slog.Handler: Enabled reports false,
+// so record assembly is skipped entirely.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DurationSeconds renders a duration as a float seconds attr — the
+// unit every latency metric in the repo uses, so logs and metrics
+// agree.
+func DurationSeconds(key string, d time.Duration) slog.Attr {
+	return slog.Float64(key, d.Seconds())
+}

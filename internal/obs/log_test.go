@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShapeAndUniqueness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q length %d, want 16", id, len(id))
+		}
+		if strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("trace ID %q not lowercase hex", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDContextPlumbing(t *testing.T) {
+	if TraceIDFrom(context.Background()) != "" {
+		t.Error("empty context yielded a trace ID")
+	}
+	ctx := WithTraceID(context.Background(), "abc123")
+	if TraceIDFrom(ctx) != "abc123" {
+		t.Error("trace ID did not round-trip")
+	}
+	if ctx2 := WithTraceID(context.Background(), ""); TraceIDFrom(ctx2) != "" {
+		t.Error("empty trace ID installed")
+	}
+}
+
+func TestHandlerInjectsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{JSON: true})
+	ctx := WithTraceID(context.Background(), "deadbeefdeadbeef")
+	log.InfoContext(ctx, "solve done", slog.String("algorithm", "rle"))
+
+	var rec map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["trace_id"] != "deadbeefdeadbeef" {
+		t.Errorf("trace_id missing from record: %v", rec)
+	}
+	if rec["algorithm"] != "rle" || rec["msg"] != "solve done" {
+		t.Errorf("attrs lost: %v", rec)
+	}
+
+	// Without an ID in context no trace_id attr appears.
+	buf.Reset()
+	log.Info("no ctx")
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Errorf("trace_id leaked into context-free record: %s", buf.String())
+	}
+}
+
+func TestHandlerPreservesWithAttrsAndGroups(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{JSON: true}).With(slog.String("component", "schedd")).WithGroup("req")
+	log.InfoContext(WithTraceID(context.Background(), "0123456789abcdef"), "hit", slog.String("cache", "hit"))
+	var rec map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["component"] != "schedd" {
+		t.Errorf("With attr lost: %v", rec)
+	}
+	grp, _ := rec["req"].(map[string]interface{})
+	if grp == nil || grp["cache"] != "hit" || grp["trace_id"] != "0123456789abcdef" {
+		t.Errorf("group handling wrong: %v", rec)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, LogConfig{Level: slog.LevelWarn})
+	log.Info("dropped")
+	log.Warn("kept")
+	if strings.Contains(buf.String(), "dropped") || !strings.Contains(buf.String(), "kept") {
+		t.Errorf("level filtering wrong: %s", buf.String())
+	}
+}
+
+func TestDiscardLoggerIsSilentAndDisabled(t *testing.T) {
+	log := Discard()
+	log.Error("nothing happens")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard logger reports enabled — record assembly would run")
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name/value pair attached to a metric at
+// registration time. Labels distinguish series inside a family — e.g.
+// schedd_solves_total{algorithm="rle"} — and are fixed for the life of
+// the metric; there is no dynamic label API, which keeps the hot-path
+// types lock-free.
+type Label struct{ Key, Value string }
+
+// DefBuckets are the default latency histogram bounds (seconds),
+// matching the conventional Prometheus client defaults so dashboards
+// carry over.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the exposition to stay meaningful).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histWindow is the sliding sample window a Histogram keeps alongside
+// its buckets, feeding the quantile estimates the expvar bridge
+// reports. Sized like the latency ring it replaced in
+// internal/server: large enough for stable p99, small enough that the
+// quantiles track the current load mix.
+const histWindow = 1024
+
+// Histogram is a fixed-bucket cumulative histogram plus a sliding
+// sample window. Observe is lock-free on the bucket side (atomics) and
+// takes a short mutex for the window; scrapes snapshot under that
+// mutex and do all sorting outside it, so a slow scrape never stalls
+// recording.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds
+	counts  []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-add
+
+	mu     sync.Mutex
+	ring   [histWindow]float64
+	next   int
+	filled int
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("obs: duplicate histogram bucket bound %v", bounds[i]))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound ≥ v is the Prometheus le-bucket the value lands in.
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	h.mu.Lock()
+	h.ring[h.next] = v
+	h.next = (h.next + 1) % histWindow
+	if h.filled < histWindow {
+		h.filled++
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the all-time observation count.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the all-time sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// UpperBounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) UpperBounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Sample returns a copy of the sliding window of recent observations,
+// unordered. The snapshot is taken under the window lock; callers sort
+// or aggregate outside it (quantile estimation lives in the caller so
+// this package stays dependency-free).
+func (h *Histogram) Sample() []float64 {
+	h.mu.Lock()
+	out := make([]float64, h.filled)
+	copy(out, h.ring[:h.filled])
+	h.mu.Unlock()
+	return out
+}
+
+// cumulative returns the per-bucket cumulative counts aligned with
+// UpperBounds plus the +Inf total as the final element.
+func (h *Histogram) cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		out[i] = run
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one labeled series inside a family; exactly one of the
+// value fields is set.
+type entry struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	gf     func() float64
+	h      *Histogram
+}
+
+// family groups every series registered under one metric name; HELP
+// and TYPE render once per family, in registration order.
+type family struct {
+	name, help string
+	kind       metricKind
+	entries    []*entry
+	byKey      map[string]*entry
+}
+
+// Registry owns a set of metric families. The zero Registry is not
+// usable; construct with NewRegistry. Registration is idempotent: the
+// same (name, labels) returns the same metric, so packages can look up
+// shared metrics without threading pointers.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *entry {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: map[string]*entry{}}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	if e, ok := f.byKey[key]; ok {
+		return e
+	}
+	e := &entry{labels: append([]Label(nil), labels...)}
+	f.byKey[key] = e
+	f.entries = append(f.entries, e)
+	return e
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	e := r.register(name, help, counterKind, labels)
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	e := r.register(name, help, gaugeKind, labels)
+	if e.g == nil && e.gf == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// GaugeFunc registers a computed gauge: fn is called at scrape time.
+// fn must be safe for concurrent use and must not call back into the
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	e := r.register(name, help, gaugeKind, labels)
+	e.gf = fn
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending bucket upper bounds (nil = DefBuckets). A +Inf
+// bucket is implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	e := r.register(name, help, histogramKind, labels)
+	if e.h == nil {
+		e.h = newHistogram(buckets)
+	}
+	return e.h
+}
+
+// snapshot copies the family/entry structure under the lock so
+// rendering (which may invoke gauge callbacks like
+// runtime.ReadMemStats) happens outside it.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.families))
+	for i, f := range r.families {
+		cp := &family{name: f.name, help: f.help, kind: f.kind}
+		cp.entries = append(cp.entries, f.entries...)
+		out[i] = cp
+	}
+	return out
+}
+
+// Expvar returns an expvar.Var rendering the registry as one JSON
+// object: counters and gauges as numbers, histograms as
+// {"count":N,"sum":S}. Labeled series key as name{k=v,...}. This is
+// the bridge that lets a stock /debug/vars scraper see obs metrics.
+func (r *Registry) Expvar() expvar.Var {
+	return expvar.Func(func() interface{} {
+		out := map[string]interface{}{}
+		for _, f := range r.snapshot() {
+			for _, e := range f.entries {
+				key := f.name
+				if len(e.labels) > 0 {
+					parts := make([]string, len(e.labels))
+					for i, l := range e.labels {
+						parts[i] = l.Key + "=" + l.Value
+					}
+					key += "{" + strings.Join(parts, ",") + "}"
+				}
+				switch {
+				case e.c != nil:
+					out[key] = e.c.Value()
+				case e.gf != nil:
+					out[key] = e.gf()
+				case e.g != nil:
+					out[key] = e.g.Value()
+				case e.h != nil:
+					out[key] = map[string]interface{}{"count": e.h.Count(), "sum": e.h.Sum()}
+				}
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same metric.
+	if again := r.Counter("reqs_total", "requests"); again != c {
+		t.Error("re-registration returned a different counter")
+	}
+	g := r.Gauge("in_flight", "gauge")
+	g.Add(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Errorf("gauge after Set = %d, want 7", g.Value())
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("solves_total", "solves", Label{"algorithm", "rle"})
+	b := r.Counter("solves_total", "solves", Label{"algorithm", "ldp"})
+	if a == b {
+		t.Fatal("differently labeled series shared a counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Errorf("labeled counters = %d/%d, want 2/1", a.Value(), b.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 2 + 100; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	// le="0.1" catches 0.05 and the boundary value 0.1 (le is ≤).
+	cum := h.cumulative()
+	want := []uint64{2, 3, 4, 5}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (full: %v)", i, cum[i], want[i], cum)
+		}
+	}
+}
+
+func TestHistogramSampleWindow(t *testing.T) {
+	h := newHistogram(nil)
+	for i := 0; i < histWindow+100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Sample()
+	if len(s) != histWindow {
+		t.Fatalf("sample length %d, want %d", len(s), histWindow)
+	}
+	// The window must hold the most recent histWindow observations.
+	sort.Float64s(s)
+	if s[0] != 100 || s[len(s)-1] != float64(histWindow+99) {
+		t.Errorf("window range [%v, %v], want [100, %v]", s[0], s[len(s)-1], histWindow+99)
+	}
+}
+
+// TestHistogramScrapeVsRecordRace hammers Observe from many writers
+// while scraping Sample and the exposition concurrently; under -race
+// (scripts/check.sh) this is the scrape-vs-record data-race test for
+// the snapshot-under-lock / sort-outside design.
+func TestHistogramScrapeVsRecordRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "race", nil)
+	var wg sync.WaitGroup
+	const perWriter = 5000
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+	for scrape := 0; scrape < 50; scrape++ {
+		s := h.Sample()
+		sort.Float64s(s) // the sort happens outside the histogram lock
+		r.WritePrometheus(discardWriter{})
+	}
+	wg.Wait()
+	if h.Count() != 4*perWriter {
+		t.Errorf("count = %d, want %d", h.Count(), 4*perWriter)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestExpvarBridge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(3)
+	r.Gauge("b", "b").Set(-2)
+	r.GaugeFunc("c", "c", func() float64 { return 1.5 })
+	h := r.Histogram("d_seconds", "d", []float64{1})
+	h.Observe(0.5)
+	r.Counter("e_total", "e", Label{"k", "v"}).Inc()
+
+	var out map[string]interface{}
+	if err := json.Unmarshal([]byte(r.Expvar().String()), &out); err != nil {
+		t.Fatalf("expvar bridge not valid JSON: %v", err)
+	}
+	if out["a_total"].(float64) != 3 || out["b"].(float64) != -2 || out["c"].(float64) != 1.5 {
+		t.Errorf("scalar values wrong: %v", out)
+	}
+	hist := out["d_seconds"].(map[string]interface{})
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 0.5 {
+		t.Errorf("histogram bridge wrong: %v", hist)
+	}
+	if out[`e_total{k=v}`].(float64) != 1 {
+		t.Errorf("labeled key wrong: %v", out)
+	}
+}

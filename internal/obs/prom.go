@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the text exposition format version this
+// package renders.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format: one # HELP and # TYPE line per family, then
+// one sample line per series (histograms expand into cumulative
+// _bucket lines plus _sum and _count). Families appear in registration
+// order, series within a family likewise, so successive scrapes diff
+// cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, e := range f.entries {
+			switch {
+			case e.c != nil:
+				writeSample(bw, f.name, "", e.labels, "", float64(e.c.Value()))
+			case e.gf != nil:
+				writeSample(bw, f.name, "", e.labels, "", e.gf())
+			case e.g != nil:
+				writeSample(bw, f.name, "", e.labels, "", float64(e.g.Value()))
+			case e.h != nil:
+				cum := e.h.cumulative()
+				for i, ub := range e.h.bounds {
+					writeSample(bw, f.name, "_bucket", e.labels, formatFloat(ub), float64(cum[i]))
+				}
+				writeSample(bw, f.name, "_bucket", e.labels, "+Inf", float64(cum[len(cum)-1]))
+				writeSample(bw, f.name, "_sum", e.labels, "", e.h.Sum())
+				writeSample(bw, f.name, "_count", e.labels, "", float64(e.h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PrometheusHandler serves the registry at an HTTP endpoint (schedd
+// mounts it at /metrics).
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PrometheusContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample emits one exposition line: name+suffix, the label set
+// (with an le label appended when non-empty), and the value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without a
+// decimal point, infinities in the exposition spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline — the
+// three characters the exposition format requires escaping inside
+// label values.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

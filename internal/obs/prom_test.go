@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestPrometheusHelpTypeAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests served.").Add(42)
+	r.Gauge("depth", "Queue depth.").Set(3)
+	r.GaugeFunc("ratio", "Hit ratio.", func() float64 { return 0.25 })
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP req_total Requests served.\n",
+		"# TYPE req_total counter\n",
+		"req_total 42\n",
+		"# TYPE depth gauge\n",
+		"depth 3\n",
+		"ratio 0.25\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "req_total") > strings.Index(out, "depth") {
+		t.Error("families out of registration order")
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", `line1
+line2 with \ and "quotes"`, Label{"path", "a\\b\"c\nd"}).Inc()
+	out := render(t, r)
+	if want := `esc_total{path="a\\b\"c\nd"} 1`; !strings.Contains(out, want+"\n") {
+		t.Errorf("label escaping wrong, want %q in:\n%s", want, out)
+	}
+	if want := `# HELP esc_total line1\nline2 with \\ and "quotes"`; !strings.Contains(out, want+"\n") {
+		t.Errorf("help escaping wrong, want %q in:\n%s", want, out)
+	}
+}
+
+func TestPrometheusHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 0.5, 1}, Label{"route", "solve"})
+	for _, v := range []float64{0.05, 0.3, 0.3, 0.9, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	wants := []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{route="solve",le="0.1"} 1`,
+		`lat_seconds_bucket{route="solve",le="0.5"} 3`,
+		`lat_seconds_bucket{route="solve",le="1"} 4`,
+		`lat_seconds_bucket{route="solve",le="+Inf"} 5`,
+		`lat_seconds_sum{route="solve"} 6.55`,
+		`lat_seconds_count{route="solve"} 5`,
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w+"\n") {
+			t.Errorf("exposition missing %q:\n%s", w, out)
+		}
+	}
+	// Buckets must be monotone nondecreasing when parsed back.
+	var prev float64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		prev = v
+	}
+}
+
+// TestPrometheusParses runs a line-level grammar check over a fully
+// populated registry: every non-comment line must be
+// name[{labels}] value with a parsable value.
+func TestPrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(7)
+	r.Gauge("b_bytes", "b").Set(1 << 30)
+	r.Histogram("c_seconds", "c", nil).Observe(0.01)
+	r.Counter("d_total", "d", Label{"algorithm", "rle"}, Label{"ok", "true"}).Inc()
+
+	sc := bufio.NewScanner(strings.NewReader(render(t, r)))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if name == "" || strings.ContainsAny(name[:1], "0123456789") {
+			t.Errorf("bad metric name in %q", line)
+		}
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("bad value in %q: %v", line, err)
+			}
+		}
+		if open := strings.IndexByte(name, '{'); open >= 0 && !strings.HasSuffix(name, "}") {
+			t.Errorf("unterminated label set in %q", line)
+		}
+	}
+	if lines < 16 { // 2 scalars + 11+1 default buckets + sum + count + labeled counter
+		t.Errorf("suspiciously few sample lines: %d", lines)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if got := rec.Header().Get("Content-Type"); got != PrometheusContentType {
+		t.Errorf("content type %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1\n") {
+		t.Errorf("handler body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{1: "1", 0.25: "0.25", 1e9: "1e+09"}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := fmt.Sprint(formatFloat(inf())); got != "+Inf" {
+		t.Errorf("formatFloat(+Inf) = %q", got)
+	}
+}
+
+func inf() float64 { var z float64; return 1 / z }

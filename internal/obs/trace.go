@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Well-known tracer counter keys. Solvers report under these names so
+// schedd responses, CLI -trace output, and dashboards agree on
+// vocabulary; the inventory is documented in DESIGN.md §8.
+const (
+	// Shared across algorithms.
+	KeyLinks      = "links"     // instance size
+	KeyScheduled  = "scheduled" // activation-set size
+	KeyFieldPairs = "field_stored_pairs"
+
+	// Exact branch-and-bound.
+	KeyNodesExpanded = "nodes_expanded"
+	KeyBoundCutoffs  = "bound_cutoffs"
+	KeyInfeasible    = "infeasible_prunes"
+	KeyIncumbents    = "incumbent_updates"
+	KeySubtreeTasks  = "subtree_tasks"
+
+	// DLS protocol rounds.
+	KeyRounds = "rounds"
+	KeyWinner = "round_winners"
+	KeyNacks  = "nacks"
+	KeyGaveUp = "gave_up"
+
+	// Elimination core (RLE, ApproxDiversity).
+	KeyPicks = "picks"
+	KeyRule1 = "rule1_eliminated"
+	KeyRule2 = "rule2_eliminated"
+
+	// Diversity-partition core (LDP, ApproxLogN).
+	KeyClasses    = "length_classes"
+	KeyGridCells  = "grid_cells"
+	KeyCandidates = "candidate_schedules"
+
+	// Greedy insertion.
+	KeyAdmitted = "admitted"
+	KeyRejected = "rejected"
+)
+
+// PhaseStat is one named phase's accumulated wall time.
+type PhaseStat struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// SolveStats is the JSON-renderable snapshot of one solve's trace: the
+// algorithm that ran, its per-phase wall times (in execution order),
+// and its counters. schedd embeds it under "stats" in the /v1/solve
+// response; fadingsched -trace prints it.
+type SolveStats struct {
+	Algorithm string           `json:"algorithm,omitempty"`
+	Phases    []PhaseStat      `json:"phases,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+}
+
+// Counter returns the named counter (0 when absent), tolerating a nil
+// receiver so callers can chain off an optional stats snapshot.
+func (s *SolveStats) Counter(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	return s.Counters[key]
+}
+
+// Tracer collects one solve's phases and counters. The nil *Tracer is
+// the disabled state: every method is a no-op costing a nil check and
+// zero allocations (BenchmarkTracerDisabled guards this), so solvers
+// call unconditionally and the untraced hot path stays untouched.
+//
+// A Tracer is safe for concurrent use — Exact's parallel subtree
+// workers report into one — but the intended pattern is coarse:
+// accumulate in solver-local variables and report once per phase, not
+// once per node.
+type Tracer struct {
+	mu        sync.Mutex
+	algorithm string
+	order     []string
+	phases    map[string]float64
+	counters  map[string]int64
+	ctrOrder  []string
+}
+
+// NewTracer returns an enabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{phases: map[string]float64{}, counters: map[string]int64{}}
+}
+
+// SetAlgorithm records which algorithm the trace belongs to.
+func (t *Tracer) SetAlgorithm(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.algorithm = name
+	t.mu.Unlock()
+}
+
+// Count adds n to the named counter.
+func (t *Tracer) Count(key string, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if _, ok := t.counters[key]; !ok {
+		t.ctrOrder = append(t.ctrOrder, key)
+	}
+	t.counters[key] += n
+	t.mu.Unlock()
+}
+
+// Span measures one phase; obtain with StartPhase, finish with End.
+// It is a value type so the enabled path allocates nothing either.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// StartPhase begins timing a named phase. On a nil tracer the returned
+// Span is inert and no clock is read.
+func (t *Tracer) StartPhase(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End records the span's elapsed wall time; repeated phases with the
+// same name accumulate.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	elapsed := time.Since(s.start).Seconds()
+	s.t.mu.Lock()
+	if _, ok := s.t.phases[s.name]; !ok {
+		s.t.order = append(s.t.order, s.name)
+	}
+	s.t.phases[s.name] += elapsed
+	s.t.mu.Unlock()
+}
+
+// Stats snapshots the trace. Returns nil on a nil tracer, so the
+// result can feed straight into an omitempty JSON field.
+func (t *Tracer) Stats() *SolveStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &SolveStats{Algorithm: t.algorithm}
+	for _, name := range t.order {
+		out.Phases = append(out.Phases, PhaseStat{Name: name, Seconds: t.phases[name]})
+	}
+	if len(t.counters) > 0 {
+		out.Counters = make(map[string]int64, len(t.counters))
+		for k, v := range t.counters {
+			out.Counters[k] = v
+		}
+	}
+	return out
+}
+
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t; solvers retrieve it with
+// TracerFrom. Installing a nil tracer is allowed and equivalent to not
+// installing one.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, or nil (the disabled
+// tracer) when absent.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

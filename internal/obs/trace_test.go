@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerCollectsPhasesAndCounters(t *testing.T) {
+	tr := NewTracer()
+	tr.SetAlgorithm("exact")
+	sp := tr.StartPhase("search")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Count(KeyNodesExpanded, 100)
+	tr.Count(KeyNodesExpanded, 50)
+	tr.Count(KeyBoundCutoffs, 7)
+
+	st := tr.Stats()
+	if st.Algorithm != "exact" {
+		t.Errorf("algorithm = %q", st.Algorithm)
+	}
+	if len(st.Phases) != 1 || st.Phases[0].Name != "search" || st.Phases[0].Seconds <= 0 {
+		t.Errorf("phases = %+v", st.Phases)
+	}
+	if st.Counter(KeyNodesExpanded) != 150 || st.Counter(KeyBoundCutoffs) != 7 {
+		t.Errorf("counters = %v", st.Counters)
+	}
+	if st.Counter("missing") != 0 {
+		t.Error("missing counter not zero")
+	}
+}
+
+func TestTracerRepeatedPhasesAccumulate(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 3; i++ {
+		sp := tr.StartPhase("round")
+		sp.End()
+	}
+	st := tr.Stats()
+	if len(st.Phases) != 1 || st.Phases[0].Name != "round" {
+		t.Errorf("repeated phase not merged: %+v", st.Phases)
+	}
+}
+
+func TestTracerStatsJSONShape(t *testing.T) {
+	tr := NewTracer()
+	tr.SetAlgorithm("dls")
+	tr.Count(KeyRounds, 12)
+	b, err := json.Marshal(tr.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SolveStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != "dls" || back.Counter(KeyRounds) != 12 {
+		t.Errorf("round-trip lost data: %s", b)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	tr.SetAlgorithm("x")
+	tr.Count(KeyLinks, 5)
+	sp := tr.StartPhase("p")
+	sp.End()
+	if tr.Stats() != nil {
+		t.Error("nil tracer returned non-nil stats")
+	}
+	var st *SolveStats
+	if st.Counter(KeyLinks) != 0 {
+		t.Error("nil stats counter not zero")
+	}
+}
+
+// TestTracerDisabledAllocs is the alloc guard behind the <1% overhead
+// claim: the full per-solve call pattern on a nil tracer must allocate
+// nothing. scripts/check.sh runs this (and BenchmarkTracerDisabled)
+// as the obs-overhead gate.
+func TestTracerDisabledAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.SetAlgorithm("greedy")
+		sp := tr.StartPhase("insert")
+		tr.Count(KeyAdmitted, 1)
+		tr.Count(KeyRejected, 2)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-tracer path allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkTracerDisabled measures the nil-tracer fast path: a nil
+// check per call, no clock reads, 0 allocs/op.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartPhase("solve")
+		tr.Count(KeyNodesExpanded, 1)
+		sp.End()
+	}
+}
+
+// BenchmarkTracerEnabled is the comparison point: the enabled path
+// pays two clock reads and mutexed map updates per phase.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartPhase("solve")
+		tr.Count(KeyNodesExpanded, 1)
+		sp.End()
+	}
+}
+
+func TestTracerConcurrentReporters(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Count(KeyNodesExpanded, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Stats().Counter(KeyNodesExpanded); got != 8000 {
+		t.Errorf("concurrent counts = %d, want 8000", got)
+	}
+}
+
+func TestTracerContextPlumbing(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Error("empty context yielded a tracer")
+	}
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Error("tracer did not round-trip through context")
+	}
+	// Installing nil leaves the context untouched.
+	if ctx2 := WithTracer(context.Background(), nil); TracerFrom(ctx2) != nil {
+		t.Error("nil tracer installed")
+	}
+}

@@ -1,6 +1,10 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // ApproxLogN is the deterministic-SINR diversity-partition baseline of
 // Goussevskaia et al. [14], the algorithm LDP extends: disjoint
@@ -15,10 +19,17 @@ type ApproxLogN struct{}
 func (ApproxLogN) Name() string { return "approxlogn" }
 
 // Schedule implements Algorithm.
-func (ApproxLogN) Schedule(pr *Problem) Schedule {
+func (a ApproxLogN) Schedule(pr *Problem) Schedule { return a.ScheduleTraced(pr, nil) }
+
+// ScheduleTraced implements TracedAlgorithm via the shared
+// diversity-partition core (same phases and counters as LDP).
+func (ApproxLogN) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+	sp := tr.StartPhase("classes")
 	budget, spread, usable := pr.detHeadroom()
 	classes := filterClasses(pr.Links.BandedLengthClasses(), usable)
-	best := gridPartitionBest(pr, classes, detBetaFor(pr.Params, budget, spread))
+	beta := detBetaFor(pr.Params, budget, spread)
+	sp.End()
+	best := gridPartitionBest(pr, classes, beta, tr)
 	return NewSchedule("approxlogn", best)
 }
 
@@ -41,7 +52,11 @@ func (a ApproxDiversity) Name() string {
 }
 
 // Schedule implements Algorithm.
-func (a ApproxDiversity) Schedule(pr *Problem) Schedule {
+func (a ApproxDiversity) Schedule(pr *Problem) Schedule { return a.ScheduleTraced(pr, nil) }
+
+// ScheduleTraced implements TracedAlgorithm via the shared elimination
+// core (same phases and counters as RLE).
+func (a ApproxDiversity) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
 	c2 := a.C2
 	if c2 == 0 {
 		c2 = DefaultC2
@@ -52,7 +67,7 @@ func (a ApproxDiversity) Schedule(pr *Problem) Schedule {
 		budget: c2 * budget, // c₂ share of the deterministic budget
 		accum:  newDetAccum(pr),
 		usable: usable,
-	})
+	}, tr)
 	return NewSchedule(a.Name(), active)
 }
 

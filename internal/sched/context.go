@@ -3,6 +3,8 @@ package sched
 import (
 	"context"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // ContextAlgorithm is implemented by algorithms whose search can be
@@ -15,10 +17,21 @@ import (
 // The polynomial algorithms (LDP, RLE, the baselines, Greedy) finish
 // in milliseconds even at deployment scale and intentionally do not
 // implement this interface; only the solvers with unbounded or
-// round-structured running time (Exact, DLS) do.
+// round-structured running time (Exact, DLS) do. Context-aware
+// algorithms read their obs.Tracer from the context themselves.
 type ContextAlgorithm interface {
 	Algorithm
 	ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
+}
+
+// TracedAlgorithm is implemented by the polynomial algorithms: they
+// cannot be aborted mid-solve (see ContextAlgorithm) but do report
+// per-phase wall times and counters to a tracer. ScheduleTraced with a
+// nil tracer must behave identically to Schedule — the nil path is the
+// production fast path and is benchmarked to zero overhead.
+type TracedAlgorithm interface {
+	Algorithm
+	ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule
 }
 
 // ScheduleContext runs a on pr honoring ctx. Context-aware algorithms
@@ -26,17 +39,42 @@ type ContextAlgorithm interface {
 // the (fast, polynomial) solve starts and the result is discarded if
 // the context expired while it ran, so a caller never receives a
 // schedule after its deadline.
+//
+// When ctx carries an obs.Tracer (obs.WithTracer), the solve is
+// traced: the dispatcher records the algorithm name, instance size,
+// and field-backend stats, and the algorithm fills in its phases and
+// counters. Without a tracer every trace call is a nil-receiver no-op.
 func ScheduleContext(ctx context.Context, a Algorithm, pr *Problem) (Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return Schedule{}, err
 	}
-	if ca, ok := a.(ContextAlgorithm); ok {
-		return ca.ScheduleContext(ctx, pr)
+	tr := obs.TracerFrom(ctx)
+	if tr != nil {
+		tr.SetAlgorithm(a.Name())
+		tr.Count(obs.KeyLinks, int64(pr.N()))
+		if sp, ok := pr.field.(*SparseField); ok {
+			tr.Count(obs.KeyFieldPairs, int64(sp.StoredPairs()))
+		}
 	}
-	s := a.Schedule(pr)
-	if err := ctx.Err(); err != nil {
-		return Schedule{}, err
+	var s Schedule
+	switch impl := a.(type) {
+	case ContextAlgorithm:
+		var err error
+		if s, err = impl.ScheduleContext(ctx, pr); err != nil {
+			return Schedule{}, err
+		}
+	case TracedAlgorithm:
+		s = impl.ScheduleTraced(pr, tr)
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
+	default:
+		s = a.Schedule(pr)
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 	}
+	tr.Count(obs.KeyScheduled, int64(s.Len()))
 	return s, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -69,7 +70,14 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 // the protocol, since a half-executed round may leave the tentative
 // set infeasible. On cancellation ctx.Err() is returned and the
 // partial active set is discarded.
+//
+// When ctx carries an obs.Tracer the protocol reports the rounds it
+// actually ran (quiescence can end it early), total round winners,
+// NACK backoffs, and links that gave up.
 func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error) {
+	tr := obs.TracerFrom(ctx)
+	sp := tr.StartPhase("rounds")
+	defer sp.End()
 	rounds := a.Rounds
 	if rounds == 0 {
 		rounds = 48
@@ -105,10 +113,12 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 			pr.Links.Link(i).Sender.Dist(pr.Links.Link(j).Receiver) < c1*pr.Links.Length(j)
 	}
 
+	var ranRounds, totalWinners, totalNacks int64
 	for round := 0; round < rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return Schedule{}, err
 		}
+		ranRounds++
 		// Local elimination (step 4): links the active set already rules out.
 		undecided := undecidedLinks(state)
 		if len(undecided) == 0 {
@@ -169,14 +179,29 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 		}
 
 		// Step 3: tentative activation + probing rollback.
-		a.commitRound(budget, state, retry, retries, acc, &active, winners)
+		totalWinners += int64(len(winners))
+		_, nacks := a.commitRound(budget, state, retry, retries, acc, &active, winners)
+		totalNacks += nacks
+	}
+	if tr != nil {
+		var gaveUp int64
+		for _, s := range state {
+			if s == dlsGaveUp {
+				gaveUp++
+			}
+		}
+		tr.Count(obs.KeyRounds, ranRounds)
+		tr.Count(obs.KeyWinner, totalWinners)
+		tr.Count(obs.KeyNacks, totalNacks)
+		tr.Count(obs.KeyGaveUp, gaveUp)
 	}
 	return NewSchedule(a.Name(), active), nil
 }
 
 // commitRound applies one round's winners with the NACK rollback and
-// returns how many survived. acc and active are updated in place.
-func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetries int, acc *Accum, active *[]int, winners []int) int {
+// returns how many survived plus how many NACK backoffs the probing
+// issued. acc and active are updated in place.
+func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetries int, acc *Accum, active *[]int, winners []int) (joined int, nacks int64) {
 	// Tentative view of interference with all winners in.
 	tent := acc.Clone()
 	for _, w := range winners {
@@ -229,12 +254,12 @@ func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetri
 		}
 		in[nack] = false
 		tent.RemoveLink(nack)
+		nacks++
 		retry[nack]++
 		if retry[nack] >= maxRetries {
 			state[nack] = dlsGaveUp
 		}
 	}
-	joined := 0
 	for _, w := range winners {
 		if in[w] {
 			state[w] = dlsActive
@@ -243,7 +268,7 @@ func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetri
 		}
 	}
 	acc.CopyFrom(tent)
-	return joined
+	return joined, nacks
 }
 
 func undecidedLinks(state []dlsState) []int {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Exact solves Fading-R-LS to optimality by parallel branch-and-bound
@@ -61,7 +63,7 @@ func (e Exact) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, erro
 	if pr.N() > maxN {
 		panic("sched: Exact solver refused instance larger than MaxN; use the approximation algorithms")
 	}
-	best, err := exactSolve(ctx, pr, e.splitDepth(pr.N()))
+	best, err := exactSolve(ctx, pr, e.splitDepth(pr.N()), obs.TracerFrom(ctx))
 	if err != nil {
 		return Schedule{}, err
 	}
@@ -87,10 +89,31 @@ type exactState struct {
 	mu       sync.Mutex
 	bestRate float64
 	bestSet  []int
+	// Search counters for the tracer, aggregated under mu from each
+	// subtree task's local dfsCounters when the task finishes — the
+	// per-node hot path touches only task-local ints.
+	nodes, cutoffs, infeasible, offers int64
 	// stop is raised when the caller's context is canceled; dfs polls
 	// it once per node (an atomic load, negligible next to the node's
 	// feasibility work) and unwinds.
 	stop atomic.Bool
+}
+
+// dfsCounters accumulates one subtree task's search statistics without
+// any synchronization; the owning goroutine folds them into exactState
+// once when its subtree is exhausted.
+type dfsCounters struct {
+	nodes      int64 // dfs invocations (tree nodes visited)
+	cutoffs    int64 // subtrees cut by the additive rate bound
+	infeasible int64 // include branches refused by tryInclude
+}
+
+func (st *exactState) addCounters(c dfsCounters) {
+	st.mu.Lock()
+	st.nodes += c.nodes
+	st.cutoffs += c.cutoffs
+	st.infeasible += c.infeasible
+	st.mu.Unlock()
 }
 
 func (st *exactState) offer(rate float64, set []int) {
@@ -99,6 +122,7 @@ func (st *exactState) offer(rate float64, set []int) {
 	if rate > st.bestRate {
 		st.bestRate = rate
 		st.bestSet = append(st.bestSet[:0], set...)
+		st.offers++
 	}
 }
 
@@ -108,11 +132,12 @@ func (st *exactState) bound() float64 {
 	return st.bestRate
 }
 
-func exactSolve(ctx context.Context, pr *Problem, splitDepth int) ([]int, error) {
+func exactSolve(ctx context.Context, pr *Problem, splitDepth int, tr *obs.Tracer) ([]int, error) {
 	n := pr.N()
 	if n == 0 {
 		return nil, nil
 	}
+	prep := tr.StartPhase("prep")
 	// Decision order: descending rate so the additive bound tightens
 	// fast; ties broken by shorter length (easier to keep feasible).
 	order := make([]int, n)
@@ -171,7 +196,10 @@ func exactSolve(ctx context.Context, pr *Problem, splitDepth int) ([]int, error)
 	// Informed checks in tryInclude test the full noise-aware budget
 	// (identical to plain Corollary 3.1 when N0 = 0).
 	build(0, nil, NewAccum(pr), 0)
+	prep.End()
+	tr.Count(obs.KeySubtreeTasks, int64(len(tasks)))
 
+	search := tr.StartPhase("search")
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, tk := range tasks {
@@ -180,12 +208,23 @@ func exactSolve(ctx context.Context, pr *Problem, splitDepth int) ([]int, error)
 		go func(tk task) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			dfs(pr, st, order, suffixRate, splitDepth, tk.set, tk.acc, tk.rate)
+			var cnt dfsCounters
+			dfs(pr, st, order, suffixRate, splitDepth, tk.set, tk.acc, tk.rate, &cnt)
+			st.addCounters(cnt)
 		}(tk)
 	}
 	wg.Wait()
+	search.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		st.mu.Lock()
+		tr.Count(obs.KeyNodesExpanded, st.nodes)
+		tr.Count(obs.KeyBoundCutoffs, st.cutoffs)
+		tr.Count(obs.KeyInfeasible, st.infeasible)
+		tr.Count(obs.KeyIncumbents, st.offers)
+		st.mu.Unlock()
 	}
 	return append([]int(nil), st.bestSet...), nil
 }
@@ -209,11 +248,13 @@ func tryInclude(pr *Problem, set []int, acc *Accum, i int) (*Accum, bool) {
 	return ni, true
 }
 
-func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, acc *Accum, rate float64) {
+func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, set []int, acc *Accum, rate float64, cnt *dfsCounters) {
 	if st.stop.Load() {
 		return // caller's context canceled; unwind the whole subtree
 	}
+	cnt.nodes++
 	if rate+suffixRate[d] <= st.bound()+1e-12 {
+		cnt.cutoffs++
 		return // even taking everything left cannot beat the incumbent
 	}
 	if d == len(order) {
@@ -224,9 +265,11 @@ func dfs(pr *Problem, st *exactState, order []int, suffixRate []float64, d int, 
 	// Include first: descending-rate order means the include branch is
 	// the one that can raise the incumbent fastest.
 	if ni, ok := tryInclude(pr, set, acc, i); ok {
-		dfs(pr, st, order, suffixRate, d+1, append(set, i), ni, rate+pr.Links.Rate(i))
+		dfs(pr, st, order, suffixRate, d+1, append(set, i), ni, rate+pr.Links.Rate(i), cnt)
+	} else {
+		cnt.infeasible++
 	}
-	dfs(pr, st, order, suffixRate, d+1, set, acc, rate)
+	dfs(pr, st, order, suffixRate, d+1, set, acc, rate, cnt)
 }
 
 func init() {

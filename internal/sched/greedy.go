@@ -1,6 +1,10 @@
 package sched
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // Greedy is the natural rate-greedy insertion heuristic: consider links
 // in descending rate (ties: shorter first, then lower index) and insert
@@ -14,8 +18,14 @@ type Greedy struct{}
 func (Greedy) Name() string { return "greedy" }
 
 // Schedule implements Algorithm.
-func (Greedy) Schedule(pr *Problem) Schedule {
+func (g Greedy) Schedule(pr *Problem) Schedule { return g.ScheduleTraced(pr, nil) }
+
+// ScheduleTraced implements TracedAlgorithm: phases "sort" and
+// "insert", counters for links admitted vs rejected by the budget
+// checks.
+func (Greedy) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
 	n := pr.N()
+	sp := tr.StartPhase("sort")
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -27,16 +37,20 @@ func (Greedy) Schedule(pr *Problem) Schedule {
 		}
 		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
 	})
+	sp.End()
 
 	// acc tracks each receiver's total budget usage: its noise term
 	// (zero in the paper's model) plus interference from the current
 	// set. Greedy needs no headroom slack — it checks the exact budget.
+	sp = tr.StartPhase("insert")
 	acc := NewAccum(pr)
 	var active []int
+	rejected := 0
 	for _, i := range order {
 		// Candidate's own budget with the current set (Informed applies
 		// the same rounding slack as the Verify cross-check).
 		if !pr.Params.Informed(acc.Load(i)) {
+			rejected++
 			continue
 		}
 		// Would adding sender i push any active receiver over budget?
@@ -48,11 +62,15 @@ func (Greedy) Schedule(pr *Problem) Schedule {
 			}
 		}
 		if !ok {
+			rejected++
 			continue
 		}
 		acc.AddLink(i)
 		active = append(active, i)
 	}
+	sp.End()
+	tr.Count(obs.KeyAdmitted, int64(len(active)))
+	tr.Count(obs.KeyRejected, int64(rejected))
 	return NewSchedule("greedy", active)
 }
 

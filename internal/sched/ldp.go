@@ -3,6 +3,7 @@ package sched
 import (
 	"repro/internal/geom"
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // LDP is the paper's Link Diversity Partition algorithm (§IV-A,
@@ -28,7 +29,14 @@ func (a LDP) Name() string {
 }
 
 // Schedule implements Algorithm.
-func (a LDP) Schedule(pr *Problem) Schedule {
+func (a LDP) Schedule(pr *Problem) Schedule { return a.ScheduleTraced(pr, nil) }
+
+// ScheduleTraced implements TracedAlgorithm: phases "classes" (length
+// decomposition + headroom) and "partition" (grid tiling and candidate
+// selection), counters for length classes, grid cells bucketed, and
+// candidate schedules compared.
+func (a LDP) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+	sp := tr.StartPhase("classes")
 	classes := pr.Links.LengthClasses()
 	if a.Banded {
 		classes = pr.Links.BandedLengthClasses()
@@ -36,7 +44,8 @@ func (a LDP) Schedule(pr *Problem) Schedule {
 	budget, spread, usable := pr.headroom()
 	classes = filterClasses(classes, usable)
 	beta := ldpBetaFor(pr.Params, budget, spread)
-	best := gridPartitionBest(pr, classes, beta)
+	sp.End()
+	best := gridPartitionBest(pr, classes, beta, tr)
 	return NewSchedule(a.Name(), best)
 }
 
@@ -60,21 +69,28 @@ func filterClasses(classes []network.LengthClass, usable []bool) []network.Lengt
 // for a given class decomposition and grid constant, returning the
 // candidate with the highest total rate. It is shared verbatim between
 // LDP (fading β) and ApproxLogN (deterministic β): the paper's
-// comparison isolates exactly this one constant.
-func gridPartitionBest(pr *Problem, classes []network.LengthClass, beta float64) []int {
+// comparison isolates exactly this one constant. tr (nil-safe) takes
+// the partition phase timing and the cell/candidate counters.
+func gridPartitionBest(pr *Problem, classes []network.LengthClass, beta float64, tr *obs.Tracer) []int {
 	if pr.N() == 0 {
 		return nil
 	}
+	sp := tr.StartPhase("partition")
+	defer sp.End()
 	receivers := pr.Links.Receivers()
 	region := geom.BoundingBox(receivers)
 	var (
-		best     []int
-		bestRate float64
+		best       []int
+		bestRate   float64
+		nClasses   int64
+		nCells     int64
+		candidates int64
 	)
 	for _, class := range classes {
 		if len(class.Members) == 0 {
 			continue
 		}
+		nClasses++
 		side := class.Ceiling * beta // 2^{h_k+1}·δ·β (Eq. 37 applied to Eq. 36)
 		grid := geom.NewGrid(region, side)
 		// Bucket the class's receivers by square; member order keeps
@@ -84,7 +100,9 @@ func gridPartitionBest(pr *Problem, classes []network.LengthClass, beta float64)
 			c := grid.CellOf(receivers[i])
 			buckets[c] = append(buckets[c], i)
 		}
+		nCells += int64(len(buckets))
 		for color := 0; color < 4; color++ {
+			candidates++
 			var cand []int
 			var rate float64
 			for cell, members := range buckets {
@@ -105,6 +123,9 @@ func gridPartitionBest(pr *Problem, classes []network.LengthClass, beta float64)
 			}
 		}
 	}
+	tr.Count(obs.KeyClasses, nClasses)
+	tr.Count(obs.KeyGridCells, nCells)
+	tr.Count(obs.KeyCandidates, candidates)
 	return best
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 // DefaultC2 is the interference-budget split c₂ used when an RLE or
@@ -38,7 +39,11 @@ func (a RLE) Name() string {
 }
 
 // Schedule implements Algorithm.
-func (a RLE) Schedule(pr *Problem) Schedule {
+func (a RLE) Schedule(pr *Problem) Schedule { return a.ScheduleTraced(pr, nil) }
+
+// ScheduleTraced implements TracedAlgorithm: the shared elimination
+// core reports pick/elimination counters and phase timings into tr.
+func (a RLE) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
 	c2 := a.C2
 	if c2 == 0 {
 		c2 = DefaultC2
@@ -49,7 +54,7 @@ func (a RLE) Schedule(pr *Problem) Schedule {
 		budget: c2 * budget,
 		accum:  NewInterferenceAccum(pr),
 		usable: usable,
-	})
+	}, tr)
 	return NewSchedule(a.Name(), active)
 }
 
@@ -81,9 +86,10 @@ type interferenceAccum interface {
 	Load(j int) float64
 }
 
-func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
+func eliminationSchedule(pr *Problem, cfg eliminationConfig, tr *obs.Tracer) []int {
 	n := pr.N()
 	// Pick order: ascending link length, ties by index (deterministic).
+	sp := tr.StartPhase("sort")
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -91,7 +97,9 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
 	sort.SliceStable(order, func(a, b int) bool {
 		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
 	})
+	sp.End()
 
+	sp = tr.StartPhase("eliminate")
 	alive := make([]bool, n)
 	for i := range alive {
 		alive[i] = cfg.usable == nil || cfg.usable[i]
@@ -102,6 +110,7 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
 	senders := pr.Links.Senders()
 	idx := geom.NewIndex(senders, rule1IndexSide(pr, cfg.c1))
 	var active []int
+	var rule1, rule2 int64
 
 	for _, i := range order {
 		if !alive[i] {
@@ -114,6 +123,7 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
 		// elimination admits.
 		if cfg.accum.Load(i) > cfg.budget {
 			alive[i] = false
+			rule2++
 			continue
 		}
 		alive[i] = false
@@ -126,10 +136,15 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig) []int {
 		idx.VisitWithinRadius(ri, radius, func(j int) {
 			if alive[j] && senders[j].Dist(ri) < radius {
 				alive[j] = false
+				rule1++
 			}
 		})
 		cfg.accum.AddLink(i)
 	}
+	sp.End()
+	tr.Count(obs.KeyPicks, int64(len(active)))
+	tr.Count(obs.KeyRule1, rule1)
+	tr.Count(obs.KeyRule2, rule2)
 	return active
 }
 

@@ -4,90 +4,143 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
-// latencyWindow is the number of recent request latencies the quantile
-// estimator keeps. A sliding window (rather than all-time) makes the
-// reported p50/p90/p99 track the current load mix, which is what an
-// operator watching a dashboard needs.
-const latencyWindow = 1024
-
-// Metrics holds schedd's operational counters. Everything lives in an
-// unpublished expvar.Map instead of the process-global expvar registry
-// so multiple Server instances — one per test — never collide on
-// expvar.Publish (which panics on duplicates). The map is exported at
-// /debug/vars by Handler.
+// Metrics holds schedd's operational counters on an obs.Registry, which
+// renders them two ways: Prometheus text exposition at /metrics and the
+// legacy expvar JSON at /debug/vars. The registry is per-Server rather
+// than process-global so multiple instances — one per test — never
+// collide (expvar.Publish panics on duplicates; obs registries are just
+// values).
+//
+// Prometheus families:
+//
+//	schedd_requests_total             counter
+//	schedd_responses_total{code}      counter
+//	schedd_in_flight                  gauge
+//	schedd_solve_errors_total         counter
+//	schedd_solves_total{algorithm}    counter
+//	schedd_cache_hits_total           counter
+//	schedd_cache_misses_total         counter
+//	schedd_request_duration_seconds   histogram (obs.DefBuckets)
+//	schedd_pool_capacity/in_use/queued gauges (registered by Server)
+//	schedd_goroutines                 gauge
+//	schedd_heap_bytes                 gauge
+//	schedd_gc_pause_seconds_total     gauge (cumulative, scrape-computed)
+//
+// The expvar view keeps the pre-registry key set byte-for-byte —
+// requests_total, responses_by_code, solve_errors, in_flight,
+// cache_hits, cache_misses, cache_hit_rate, latency_seconds
+// ({count,p50,p90,p99}) — so existing scrapers keep working, and adds
+// an "obs" sub-object with the full labeled registry.
 type Metrics struct {
-	vars      *expvar.Map
-	requests  *expvar.Int
-	byCode    *expvar.Map
-	solveErrs *expvar.Int
-	inFlight  *expvar.Int
-	cacheHits *expvar.Int
-	cacheMiss *expvar.Int
+	reg  *obs.Registry
+	vars *expvar.Map
+
+	requests  *obs.Counter
+	solveErrs *obs.Counter
+	inFlight  *obs.Gauge
+	cacheHits *obs.Counter
+	cacheMiss *obs.Counter
+	latency   *obs.Histogram
 
 	mu     sync.Mutex
-	ring   [latencyWindow]float64 // seconds
-	next   int
-	filled int
+	byCode map[int]*obs.Counter
+
+	// memStats caching: ReadMemStats briefly stops the world, so one
+	// scrape hitting both heap and GC-pause gauges reads it once.
+	msMu sync.Mutex
+	msAt time.Time
+	ms   runtime.MemStats
 }
 
-// NewMetrics returns an initialized, unpublished metric set.
+// NewMetrics returns an initialized metric set on a fresh registry.
 func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
 	m := &Metrics{
-		vars:      new(expvar.Map).Init(),
-		requests:  new(expvar.Int),
-		byCode:    new(expvar.Map).Init(),
-		solveErrs: new(expvar.Int),
-		inFlight:  new(expvar.Int),
-		cacheHits: new(expvar.Int),
-		cacheMiss: new(expvar.Int),
+		reg:       reg,
+		requests:  reg.Counter("schedd_requests_total", "HTTP requests received."),
+		solveErrs: reg.Counter("schedd_solve_errors_total", "Solves that failed after admission (timeouts, cancellations, solver refusals)."),
+		inFlight:  reg.Gauge("schedd_in_flight", "Requests currently being served."),
+		cacheHits: reg.Counter("schedd_cache_hits_total", "Solve responses served from the result cache."),
+		cacheMiss: reg.Counter("schedd_cache_misses_total", "Solve requests that missed the result cache."),
+		latency:   reg.Histogram("schedd_request_duration_seconds", "End-to-end HTTP request latency in seconds.", nil),
+		byCode:    map[int]*obs.Counter{},
 	}
-	m.vars.Set("requests_total", m.requests)
-	m.vars.Set("responses_by_code", m.byCode)
-	m.vars.Set("solve_errors", m.solveErrs)
-	m.vars.Set("in_flight", m.inFlight)
-	m.vars.Set("cache_hits", m.cacheHits)
-	m.vars.Set("cache_misses", m.cacheMiss)
+	reg.GaugeFunc("schedd_goroutines", "Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("schedd_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 { return float64(m.memStats().HeapAlloc) })
+	reg.GaugeFunc("schedd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.",
+		func() float64 { return float64(m.memStats().PauseTotalNs) / 1e9 })
+
+	m.vars = new(expvar.Map).Init()
+	m.vars.Set("requests_total", expvar.Func(func() interface{} { return m.requests.Value() }))
+	m.vars.Set("responses_by_code", expvar.Func(m.responsesByCode))
+	m.vars.Set("solve_errors", expvar.Func(func() interface{} { return m.solveErrs.Value() }))
+	m.vars.Set("in_flight", expvar.Func(func() interface{} { return m.inFlight.Value() }))
+	m.vars.Set("cache_hits", expvar.Func(func() interface{} { return m.cacheHits.Value() }))
+	m.vars.Set("cache_misses", expvar.Func(func() interface{} { return m.cacheMiss.Value() }))
 	m.vars.Set("cache_hit_rate", expvar.Func(m.hitRate))
 	m.vars.Set("latency_seconds", expvar.Func(m.latencyQuantiles))
+	m.vars.Set("obs", reg.Expvar())
 	return m
 }
 
-// Vars returns the underlying expvar map, for callers that want to
-// publish it into the process-global registry (cmd/schedd does, once).
+// Registry exposes the underlying obs registry so the Server can attach
+// pool gauges and mount the Prometheus handler.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// Vars returns the expvar map, for callers that want to publish it into
+// the process-global registry (cmd/schedd does, once).
 func (m *Metrics) Vars() *expvar.Map { return m.vars }
 
 // RequestStarted bumps the in-flight gauge and returns the completion
 // callback the middleware defers: it records the status code and the
 // latency and drops the gauge.
 func (m *Metrics) RequestStarted() func(code int, elapsed time.Duration) {
-	m.requests.Add(1)
+	m.requests.Inc()
 	m.inFlight.Add(1)
 	return func(code int, elapsed time.Duration) {
 		m.inFlight.Add(-1)
-		m.byCode.Add(strconv.Itoa(code), 1)
-		m.mu.Lock()
-		m.ring[m.next] = elapsed.Seconds()
-		m.next = (m.next + 1) % latencyWindow
-		if m.filled < latencyWindow {
-			m.filled++
-		}
-		m.mu.Unlock()
+		m.responseCounter(code).Inc()
+		m.latency.Observe(elapsed.Seconds())
 	}
 }
 
+// responseCounter returns the per-status-code counter, registering the
+// labeled series on first use.
+func (m *Metrics) responseCounter(code int) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.byCode[code]
+	if c == nil {
+		c = m.reg.Counter("schedd_responses_total", "HTTP responses by status code.",
+			obs.Label{Key: "code", Value: strconv.Itoa(code)})
+		m.byCode[code] = c
+	}
+	return c
+}
+
 // SolveError counts a failed solve (as opposed to a rejected request).
-func (m *Metrics) SolveError() { m.solveErrs.Add(1) }
+func (m *Metrics) SolveError() { m.solveErrs.Inc() }
+
+// SolveDone counts a completed solve under its algorithm label.
+func (m *Metrics) SolveDone(algorithm string) {
+	m.reg.Counter("schedd_solves_total", "Completed solves by algorithm.",
+		obs.Label{Key: "algorithm", Value: algorithm}).Inc()
+}
 
 // CacheHit / CacheMiss feed the hit-rate gauge.
-func (m *Metrics) CacheHit()  { m.cacheHits.Add(1) }
-func (m *Metrics) CacheMiss() { m.cacheMiss.Add(1) }
+func (m *Metrics) CacheHit()  { m.cacheHits.Inc() }
+func (m *Metrics) CacheMiss() { m.cacheMiss.Inc() }
 
 // InFlight returns the current gauge value (used by tests).
 func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }
@@ -100,15 +153,22 @@ func (m *Metrics) hitRate() interface{} {
 	return float64(h) / float64(h+s)
 }
 
-func (m *Metrics) latencyQuantiles() interface{} {
+func (m *Metrics) responsesByCode() interface{} {
 	m.mu.Lock()
-	sample := make([]float64, m.filled)
-	if m.filled == latencyWindow {
-		copy(sample, m.ring[:])
-	} else {
-		copy(sample, m.ring[:m.filled])
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byCode))
+	for code, c := range m.byCode {
+		out[strconv.Itoa(code)] = c.Value()
 	}
-	m.mu.Unlock()
+	return out
+}
+
+// latencyQuantiles reports the sliding-window request-latency quantiles
+// in the shape the pre-registry expvar map used. The histogram snapshot
+// is taken under its window lock; sorting (inside stats.Quantiles)
+// happens out here, so a slow scrape never stalls request recording.
+func (m *Metrics) latencyQuantiles() interface{} {
+	sample := m.latency.Sample()
 	out := map[string]interface{}{"count": len(sample)}
 	if len(sample) == 0 {
 		return out
@@ -116,6 +176,18 @@ func (m *Metrics) latencyQuantiles() interface{} {
 	qs := stats.Quantiles(sample, 0.5, 0.9, 0.99)
 	out["p50"], out["p90"], out["p99"] = qs[0], qs[1], qs[2]
 	return out
+}
+
+// memStats returns the process MemStats, refreshed at most once per
+// second: a scrape touching several runtime gauges pays for one read.
+func (m *Metrics) memStats() *runtime.MemStats {
+	m.msMu.Lock()
+	defer m.msMu.Unlock()
+	if now := time.Now(); now.Sub(m.msAt) > time.Second {
+		runtime.ReadMemStats(&m.ms)
+		m.msAt = now
+	}
+	return &m.ms
 }
 
 // Handler serves the metric map in expvar's JSON wire format, nested

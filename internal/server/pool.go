@@ -1,6 +1,9 @@
 package server
 
-import "context"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // pool bounds the number of concurrently executing solves. Admission
 // is a counting semaphore rather than a fixed goroutine set: the
@@ -11,6 +14,10 @@ import "context"
 // the same deadline error as one that timed out solving.
 type pool struct {
 	sem chan struct{}
+	// waiting counts requests blocked in acquire — the queue-depth
+	// signal behind the schedd_pool_queued gauge. Saturation shows up
+	// here before it shows up as 504s.
+	waiting atomic.Int64
 }
 
 func newPool(size int) *pool {
@@ -23,6 +30,8 @@ func newPool(size int) *pool {
 // acquire blocks until a slot is free or ctx is done, returning
 // ctx.Err() in the latter case.
 func (p *pool) acquire(ctx context.Context) error {
+	p.waiting.Add(1)
+	defer p.waiting.Add(-1)
 	select {
 	case p.sem <- struct{}{}:
 		return nil
@@ -36,3 +45,9 @@ func (p *pool) release() { <-p.sem }
 
 // cap returns the pool size.
 func (p *pool) capacity() int { return cap(p.sem) }
+
+// inUse returns the number of occupied slots.
+func (p *pool) inUse() int { return len(p.sem) }
+
+// queued returns how many requests are currently blocked in acquire.
+func (p *pool) queued() int64 { return p.waiting.Load() }

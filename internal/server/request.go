@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/sched"
 )
@@ -188,6 +189,10 @@ type SolveResponse struct {
 	ExpectedFailures float64 `json:"expected_failures"`
 	// Simulation is present when mc_slots > 0 requested validation.
 	Simulation *SimulationResult `json:"simulation,omitempty"`
+	// Stats is the solver trace: per-phase wall times and algorithm
+	// counters. Cached responses replay the stats of the solve that
+	// produced them.
+	Stats *obs.SolveStats `json:"stats,omitempty"`
 }
 
 // SimulationResult summarizes the optional Monte-Carlo validation.

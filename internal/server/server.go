@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -32,6 +34,10 @@ type Config struct {
 	// (0 = 30s); MaxTimeout clamps what a request may ask for (0 = 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Logger receives structured access and solve logs; every record
+	// carries the request's trace_id. Nil discards everything, which
+	// keeps library users and tests silent by default.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +71,7 @@ type Server struct {
 	pool    *pool
 	cache   *resultCache
 	metrics *Metrics
+	log     *slog.Logger
 	mux     *http.ServeMux
 }
 
@@ -76,7 +83,18 @@ func New(cfg Config) *Server {
 		pool:    newPool(cfg.Workers),
 		cache:   newResultCache(cfg.CacheSize),
 		metrics: NewMetrics(),
+		log:     cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("schedd_pool_capacity", "Worker-pool slot count.",
+		func() float64 { return float64(s.pool.capacity()) })
+	reg.GaugeFunc("schedd_pool_in_use", "Worker-pool slots currently executing solves.",
+		func() float64 { return float64(s.pool.inUse()) })
+	reg.GaugeFunc("schedd_pool_queued", "Requests blocked waiting for a worker-pool slot.",
+		func() float64 { return float64(s.pool.queued()) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
@@ -84,6 +102,7 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.Handle("GET /metrics", reg.PrometheusHandler())
 	s.mux.Handle("GET /debug/vars", s.metrics.Handler())
 	return s
 }
@@ -97,14 +116,29 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // it is intentionally not routed.
 func (s *Server) ResetCache() { s.cache.reset() }
 
-// ServeHTTP implements http.Handler with the metrics middleware
-// wrapped around the route table.
+// ServeHTTP implements http.Handler with the observability middleware
+// wrapped around the route table: every request gets a fresh trace ID
+// (propagated via context into solver tracing and every log record,
+// and echoed in the X-Trace-Id response header), a latency-histogram
+// observation, and an access-log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	traceID := obs.NewTraceID()
+	ctx := obs.WithTraceID(r.Context(), traceID)
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Trace-Id", traceID)
+
 	done := s.metrics.RequestStarted()
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(rec, r)
-	done(rec.code, time.Since(start))
+	elapsed := time.Since(start)
+	done(rec.code, elapsed)
+	s.log.LogAttrs(ctx, slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rec.code),
+		obs.DurationSeconds("duration", elapsed),
+	)
 }
 
 // DebugHandler returns the private-side handler: pprof plus the same
@@ -164,6 +198,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	key := req.hash()
 	if cached, ok := s.cache.get(key); ok {
 		s.metrics.CacheHit()
+		s.log.LogAttrs(r.Context(), slog.LevelDebug, "cache hit",
+			slog.String("algorithm", req.Algorithm), slog.Int("links", len(req.Links)))
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		w.Write(cached)
@@ -194,9 +230,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The tracer rides the context into the solver; its snapshot is the
+	// response's stats field. Trace stats go in the cached body — a hit
+	// replays the first solve's timings, which is the honest answer for
+	// a response that did no solving — while the per-request trace ID
+	// stays in the X-Trace-Id header only, keeping cached bodies
+	// byte-identical across requests.
+	tr := obs.NewTracer()
+	ctx = obs.WithTracer(ctx, tr)
 	schedule, err := solve(ctx, req.Algorithm, pr)
 	if err != nil {
 		s.metrics.SolveError()
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "solve failed",
+			slog.String("algorithm", req.Algorithm), slog.Int("links", len(req.Links)),
+			slog.String("error", err.Error()))
 		var refused *solverRefusedError
 		if errors.As(err, &refused) {
 			writeError(w, http.StatusBadRequest, refused.Error())
@@ -205,6 +252,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeSolveFailure(w, err)
 		return
 	}
+	s.metrics.SolveDone(req.Algorithm)
 
 	resp := &SolveResponse{
 		Algorithm:        req.Algorithm,
@@ -215,6 +263,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Feasible:         sched.Feasible(pr, schedule),
 		SuccessProb:      sched.SuccessProbabilities(pr, schedule),
 		ExpectedFailures: sched.ExpectedFailures(pr, schedule),
+		Stats:            tr.Stats(),
 	}
 	if req.MCSlots > 0 {
 		if err := ctx.Err(); err != nil { // don't start a sim after the deadline

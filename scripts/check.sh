@@ -28,9 +28,24 @@ echo "== go test -race"
 # concurrency race tests for the pool, cache, and metrics.
 go test -race -short ./...
 
+echo "== observability race pass"
+# Re-run the obs registry and serving stack uncached: these suites hold
+# the scrape-vs-record and tracer concurrency race tests.
+go test -race -count=1 ./internal/obs ./internal/server
+
+echo "== obs overhead gate"
+# TestTracerDisabledAllocs is the hard 0 allocs/op gate on the nil
+# tracer; the benchmark run alongside prints the ns/op evidence.
+go test -run TestTracerDisabledAllocs -bench BenchmarkTracerDisabled -benchtime 1000x -count=1 ./internal/obs
+
 echo "== serve smoke"
 # Boot the daemon end to end: listen, solve one instance over HTTP,
 # scrape metrics, drain cleanly.
 go test -race -run TestServeSmoke -count=1 ./cmd/schedd/
+
+echo "== metrics smoke"
+# Boot again with JSON logs: Prometheus scrape, solver stats in the
+# response, trace ID joined across header and access log.
+go test -race -run TestMetricsSmoke -count=1 ./cmd/schedd/
 
 echo "ok"
