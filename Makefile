@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench bench-serve bench-obs build fmt vet fuzz serve serve-smoke metrics-smoke
+.PHONY: check test test-full bench bench-json bench-serve bench-obs build fmt vet fuzz serve serve-smoke metrics-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -22,9 +22,14 @@ test-full:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
 
-## bench-serve: schedd cold-vs-warm cache benchmark (n=1000 instance)
+## bench-json: the PR 5 performance suite → BENCH_PR5.json
+## (Fig 5a, field build, cold vs warm-prepared solve, schedd end-to-end)
+bench-json:
+	sh scripts/bench.sh
+
+## bench-serve: schedd cold/prepared-field/warm cache benchmark (n=1000)
 bench-serve:
-	$(GO) test -run '^$$' -bench BenchmarkSolveColdVsWarm ./internal/server/
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveColdVsWarm|BenchmarkSolveBatch' ./internal/server/
 
 ## serve: run the scheduling daemon on the default ports
 serve:

@@ -14,6 +14,7 @@ package fadingrls_test
 //   - the ratio bench reports the worst observed OPT/RLE.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -42,6 +43,7 @@ func runSpec(b *testing.B, id string) *fadingrls.ResultTable {
 }
 
 func BenchmarkFig5a(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "fig5a")
@@ -52,6 +54,7 @@ func BenchmarkFig5a(b *testing.B) {
 }
 
 func BenchmarkFig5b(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "fig5b")
@@ -62,6 +65,7 @@ func BenchmarkFig5b(b *testing.B) {
 }
 
 func BenchmarkFig5aAnalytic(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "fig5a-analytic")
@@ -71,6 +75,7 @@ func BenchmarkFig5aAnalytic(b *testing.B) {
 }
 
 func BenchmarkFig6a(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "fig6a")
@@ -81,6 +86,7 @@ func BenchmarkFig6a(b *testing.B) {
 }
 
 func BenchmarkFig6b(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "fig6b")
@@ -91,6 +97,7 @@ func BenchmarkFig6b(b *testing.B) {
 }
 
 func BenchmarkTableARatios(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -109,6 +116,7 @@ func BenchmarkTableARatios(b *testing.B) {
 }
 
 func BenchmarkTableBThm31(b *testing.B) {
+	b.ReportAllocs()
 	var rows []fadingrls.Thm31Row
 	for i := 0; i < b.N; i++ {
 		rows = fadingrls.RunThm31Table(uint64(b.N), 20000)
@@ -123,6 +131,7 @@ func BenchmarkTableBThm31(b *testing.B) {
 }
 
 func BenchmarkTableCAblationClasses(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "ablation-classes")
@@ -133,12 +142,14 @@ func BenchmarkTableCAblationClasses(b *testing.B) {
 }
 
 func BenchmarkTableCAblationC2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runSpec(b, "ablation-c2")
 	}
 }
 
 func BenchmarkTableDAblationDLS(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		tab = runSpec(b, "ablation-dls")
@@ -148,6 +159,7 @@ func BenchmarkTableDAblationDLS(b *testing.B) {
 }
 
 func BenchmarkTableEMultislot(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -162,6 +174,7 @@ func BenchmarkTableEMultislot(b *testing.B) {
 }
 
 func BenchmarkTableFTraffic(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -176,6 +189,7 @@ func BenchmarkTableFTraffic(b *testing.B) {
 }
 
 func BenchmarkTableGStaleness(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -190,6 +204,7 @@ func BenchmarkTableGStaleness(b *testing.B) {
 }
 
 func BenchmarkTableHDiversity(b *testing.B) {
+	b.ReportAllocs()
 	var tab *fadingrls.ResultTable
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -232,11 +247,13 @@ var fieldBackends = []struct {
 // the dense backend is Θ(n²) factor evaluations, the sparse one is
 // output-sensitive in the number of stored near-field pairs.
 func BenchmarkNewProblem(b *testing.B) {
+	b.ReportAllocs()
 	p := fadingrls.DefaultParams()
 	for _, n := range []int{300, 1000, 5000} {
 		ls := benchLinks(b, n)
 		for _, bk := range fieldBackends {
 			b.Run(fmt.Sprintf("%s/n=%d", bk.name, n), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := fadingrls.NewProblem(ls, p, bk.opt()); err != nil {
 						b.Fatal(err)
@@ -257,6 +274,7 @@ func BenchmarkNewProblem(b *testing.B) {
 // receivers), so dense wins; at α = 4.5 the near field is genuinely
 // local and sparse is the backend that scales.
 func BenchmarkFieldBackends(b *testing.B) {
+	b.ReportAllocs()
 	for _, alpha := range []float64{3, 4.5} {
 		p := fadingrls.DefaultParams()
 		p.Alpha = alpha
@@ -264,6 +282,7 @@ func BenchmarkFieldBackends(b *testing.B) {
 			ls := benchLinks(b, n)
 			for _, bk := range fieldBackends {
 				b.Run(fmt.Sprintf("%s/a%g/n=%d", bk.name, alpha, n), func(b *testing.B) {
+					b.ReportAllocs()
 					var links int
 					for i := 0; i < b.N; i++ {
 						pr, err := fadingrls.NewProblem(ls, p, bk.opt())
@@ -281,6 +300,52 @@ func BenchmarkFieldBackends(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSolveColdBuild is the no-reuse baseline at n=2000 dense:
+// every iteration pays the full O(n²) field construction before the
+// RLE solve — what a caller who rebuilds the Problem per query pays.
+func BenchmarkSolveColdBuild(b *testing.B) {
+	b.ReportAllocs()
+	ls := benchLinks(b, 2000)
+	p := fadingrls.DefaultParams()
+	var links int
+	for i := 0; i < b.N; i++ {
+		pr, err := fadingrls.NewProblem(ls, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		links = fadingrls.RLE{}.Schedule(pr).Len()
+	}
+	b.ReportMetric(float64(links), "links")
+}
+
+// BenchmarkSolveWarmPrepared is the same instance and solver through a
+// Prepared handle: the field is built once outside the loop and each
+// iteration reuses pooled scratch plus a recycled output buffer. The
+// acceptance bar for the prepared-problem work is ≥2× over
+// BenchmarkSolveColdBuild; allocs/op documents the steady-state
+// zero-allocation property.
+func BenchmarkSolveWarmPrepared(b *testing.B) {
+	b.ReportAllocs()
+	ls := benchLinks(b, 2000)
+	prep, err := fadingrls.Prepare(ls, fadingrls.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var buf []int
+	var links int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := prep.ScheduleInto(ctx, fadingrls.RLE{}, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = s.Active[:0]
+		links = s.Len()
+	}
+	b.ReportMetric(float64(links), "links")
 }
 
 func maxMean(tab *fadingrls.ResultTable, xi int, series ...string) float64 {

@@ -6,8 +6,10 @@
 //
 // POST /v1/solve takes a JSON link set plus model parameters and
 // returns the activation set (with solver trace stats) and per-link
-// success probabilities; see the README's "Serving" section for the
-// schema. GET /v1/algorithms lists the registry; GET /metrics serves
+// success probabilities; POST /v1/solve/batch solves one link set
+// under many algorithm/ε configs with a single interference-field
+// build; see the README's "Serving" section for the schemas.
+// GET /v1/algorithms lists the registry; GET /metrics serves
 // Prometheus text exposition; /debug/vars serves expvar metrics; the
 // debug address additionally serves net/http/pprof and should stay on
 // loopback. Structured access logs (-log-format, -log-level) carry the
@@ -59,6 +61,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		debugAddr = fs.String("debug-addr", "127.0.0.1:6060", "private pprof/metrics listen address ('' disables)")
 		workers   = fs.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
 		cacheSize = fs.Int("cache", 256, "result cache capacity in responses (negative disables)")
+		prepCache = fs.Int("prep-cache", 16, "prepared interference-field cache capacity in link sets (negative disables)")
 		maxBody   = fs.Int64("max-body", 8<<20, "request body size limit in bytes")
 		maxLinks  = fs.Int("max-links", 20000, "per-request instance size limit")
 		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
@@ -80,13 +83,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger := obs.NewLogger(out, obs.LogConfig{Level: level, JSON: *logFormat == "json"})
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		MaxBodyBytes:   *maxBody,
-		MaxLinks:       *maxLinks,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTO,
-		Logger:         logger,
+		Workers:           *workers,
+		CacheSize:         *cacheSize,
+		PreparedCacheSize: *prepCache,
+		MaxBodyBytes:      *maxBody,
+		MaxLinks:          *maxLinks,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTO,
+		Logger:            logger,
 	})
 	publishOnce.Do(func() { expvar.Publish("schedd", srv.Metrics().Vars()) })
 

@@ -105,6 +105,12 @@ type (
 	SparseField = sched.SparseField
 	// Accum is the incremental per-receiver feasibility accumulator.
 	Accum = sched.Accum
+
+	// Prepared is a reusable solve handle: it owns a built interference
+	// field plus pooled per-solve scratch, so repeated solves on one
+	// instance — across goroutines, algorithms, and ε-variants via
+	// Derive — allocate nothing in steady state.
+	Prepared = sched.Prepared
 )
 
 // Simulation.
@@ -173,6 +179,16 @@ func ReadLinkSet(r io.Reader) (*LinkSet, error) { return network.Read(r) }
 func NewProblem(ls *LinkSet, p Params, opts ...ProblemOption) (*Problem, error) {
 	return sched.NewProblem(ls, p, opts...)
 }
+
+// Prepare builds the problem and wraps it in a Prepared handle — the
+// entry point for callers that will solve the same instance more than
+// once (servers, sweeps, mobility re-planning).
+func Prepare(ls *LinkSet, p Params, opts ...ProblemOption) (*Prepared, error) {
+	return sched.Prepare(ls, p, opts...)
+}
+
+// NewPrepared wraps an existing problem in a Prepared handle.
+func NewPrepared(pr *Problem) *Prepared { return sched.NewPrepared(pr) }
 
 // WithDenseField selects the exact dense matrix backend (the default).
 func WithDenseField() ProblemOption { return sched.WithDenseField() }

@@ -150,13 +150,14 @@ func StalenessTable(opts Options) (*Table, error) {
 			return err
 		}
 		params := radio.DefaultParams()
-		pr0, err := sched.NewProblem(ls, params)
+		prep, err := sched.Prepare(ls, params)
 		if err != nil {
 			return err
 		}
+		pr := prep.Problem()
 		schedules := make([]sched.Schedule, len(algos))
 		for ai, a := range algos {
-			schedules[ai] = a.Schedule(pr0)
+			schedules[ai] = prep.Schedule(a)
 		}
 		tr, err := mobility.NewTrace(ls, mobility.Config{
 			Region: 500, SpeedMin: 1, SpeedMax: 10,
@@ -165,20 +166,21 @@ func StalenessTable(opts Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		tr.Advance(int(stal[xi]))
-		snap, err := tr.Snapshot()
+		// The tracker patches the same problem the stale schedules came
+		// from, so the displaced-geometry evaluation needs no second
+		// O(n²) field build — Rebind updates only the moved factors.
+		tk, err := mobility.NewTracker(tr, pr, 0)
 		if err != nil {
 			return err
 		}
-		prNow, err := sched.NewProblem(snap, params)
-		if err != nil {
+		if _, err := tk.Advance(int(stal[xi])); err != nil {
 			return err
 		}
 		for ai := range algos {
-			add(names[ai], sched.ExpectedFailures(prNow, schedules[ai]))
+			add(names[ai], sched.ExpectedFailures(pr, schedules[ai]))
 		}
-		fresh := (sched.RLE{}).Schedule(prNow)
-		add("fresh-rle", sched.ExpectedFailures(prNow, fresh))
+		fresh := tk.Prepared().Schedule(sched.RLE{})
+		add("fresh-rle", sched.ExpectedFailures(pr, fresh))
 		return nil
 	})
 }

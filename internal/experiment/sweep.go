@@ -128,13 +128,17 @@ func Run(spec Spec, opts Options) (*Table, error) {
 					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
 					continue
 				}
-				pr, err := sched.NewProblem(ls, params, opts.FieldOptions...)
+				// One prepared handle per deployment: the interference
+				// field is built once and every algorithm in the series
+				// solves through pooled scratch on top of it.
+				prep, err := sched.Prepare(ls, params, opts.FieldOptions...)
 				if err != nil {
 					fail(fmt.Errorf("experiment %s x=%v rep=%d: %w", spec.ID, x, jb.rep, err))
 					continue
 				}
+				pr := prep.Problem()
 				for ai, a := range spec.Algorithms {
-					s := a.Schedule(pr)
+					s := prep.Schedule(a)
 					y, err := spec.Metric(pr, s, opts.Seed^(pairIdx*2654435761+uint64(ai)), opts.Slots)
 					if err != nil {
 						fail(fmt.Errorf("experiment %s x=%v rep=%d algo=%s: %w", spec.ID, x, jb.rep, a.Name(), err))

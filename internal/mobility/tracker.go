@@ -22,6 +22,7 @@ import (
 type Tracker struct {
 	trace *Trace
 	pr    *sched.Problem
+	prep  *sched.Prepared
 	// bound[i] is sender i's position at its last rebind; drift is
 	// measured against it, not against the previous step.
 	bound []geom.Point
@@ -49,6 +50,19 @@ func NewTracker(trace *Trace, pr *sched.Problem, tol float64) (*Tracker, error) 
 // Problem returns the tracked problem; its interference field reflects
 // the trace as of the last Advance (within the drift tolerance).
 func (tk *Tracker) Problem() *sched.Problem { return tk.pr }
+
+// Prepared returns a prepared handle over the tracked problem, built
+// lazily and reused across calls, so re-planning after every Advance
+// reuses solver scratch instead of reallocating it. Rebind bumps the
+// problem's generation counter, which invalidates the handle's cached
+// geometry (sender index, median length) automatically — callers just
+// Advance and re-Schedule.
+func (tk *Tracker) Prepared() *sched.Prepared {
+	if tk.prep == nil {
+		tk.prep = sched.NewPrepared(tk.pr)
+	}
+	return tk.prep
+}
 
 // Advance moves the trace forward by the given number of slots and
 // patches the problem's interference field for every link whose sender

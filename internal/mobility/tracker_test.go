@@ -126,3 +126,42 @@ func TestTrackerRejectsMismatch(t *testing.T) {
 		t.Error("link-count mismatch accepted")
 	}
 }
+
+// TestTrackerPreparedMatchesFresh checks the Prepared handle stays
+// coherent across Advance: Rebind bumps the problem generation, so the
+// handle's cached geometry (sender index, median length) refreshes and
+// every post-move solve matches a fresh problem built from the current
+// snapshot. The handle is fetched once and reused — the cheap path a
+// re-planning loop would use.
+func TestTrackerPreparedMatchesFresh(t *testing.T) {
+	tr, pr := trackerFixture(t, 60)
+	tk, err := NewTracker(tr, pr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep := tk.Prepared()
+	if prep != tk.Prepared() {
+		t.Fatal("Prepared() not cached across calls")
+	}
+	algos := []sched.Algorithm{sched.Greedy{}, sched.RLE{}}
+	for step := 0; step < 4; step++ {
+		if _, err := tk.Advance(5); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := tr.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := sched.NewProblem(snap, pr.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range algos {
+			got := prep.Schedule(a)
+			want := a.Schedule(fresh)
+			if !got.Equal(want) {
+				t.Fatalf("step %d %s: tracked %v ≠ fresh %v", step, a.Name(), got, want)
+			}
+		}
+	}
+}

@@ -38,8 +38,7 @@ type Accum struct {
 // term, so Load(j) tracks the full Corollary 3.1 budget usage — the
 // form Greedy, Exact, and Repair check against γ_ε.
 func NewAccum(pr *Problem) *Accum {
-	a := newAccumField(pr.field)
-	a.gammaEps = pr.GammaEps()
+	a := NewInterferenceAccum(pr)
 	for j := range a.load {
 		a.load[j] = pr.field.NoiseTerm(j)
 	}
@@ -51,17 +50,27 @@ func NewAccum(pr *Problem) *Accum {
 // their c₂-scaled budgets (noise is folded into the budget by the
 // headroom analysis instead).
 func NewInterferenceAccum(pr *Problem) *Accum {
-	a := newAccumField(pr.field)
+	a := &Accum{}
+	a.reset(pr.field)
 	a.gammaEps = pr.GammaEps()
 	return a
 }
 
-func newAccumField(f InterferenceField) *Accum {
+// reset rebinds a to f with an empty active set and zero base load,
+// reusing a's buffers when capacity suffices — the scratch-pooled path
+// through which a warm Accum is reinitialized without allocating.
+func (a *Accum) reset(f InterferenceField) {
 	n := f.N()
-	a := &Accum{field: f, load: make([]float64, n)}
-	if d, ok := f.(*DenseField); ok {
-		a.dense = d
-		return a
+	a.field = f
+	a.dense, _ = f.(*DenseField)
+	a.gammaEps = 0
+	a.load = floatsIn(&a.load, n)
+	clear(a.load)
+	a.actPow = 0
+	a.hasTail = false
+	if a.dense != nil {
+		a.nearPow, a.tail = nil, nil
+		return
 	}
 	for j := 0; j < n; j++ {
 		if f.TailBound(j) > 0 {
@@ -69,14 +78,16 @@ func newAccumField(f InterferenceField) *Accum {
 			break
 		}
 	}
-	if a.hasTail {
-		a.nearPow = make([]float64, n)
-		a.tail = make([]float64, n)
-		for j := 0; j < n; j++ {
-			a.tail[j] = f.TailBound(j)
-		}
+	if !a.hasTail {
+		a.nearPow, a.tail = nil, nil
+		return
 	}
-	return a
+	a.nearPow = floatsIn(&a.nearPow, n)
+	clear(a.nearPow)
+	a.tail = floatsIn(&a.tail, n)
+	for j := 0; j < n; j++ {
+		a.tail[j] = f.TailBound(j)
+	}
 }
 
 // AddLink folds sender i into the active set.
@@ -182,6 +193,21 @@ func (a *Accum) Clone() *Accum {
 		b.nearPow = append([]float64(nil), a.nearPow...)
 	}
 	return b
+}
+
+// CloneInto overwrites dst with an independent copy of a, reusing
+// dst's buffers — the allocation-free form of Clone for scratch-held
+// destinations. Like Clone, the immutable field and tail bounds are
+// shared, the mutable load state is copied.
+func (a *Accum) CloneInto(dst *Accum) {
+	dst.field, dst.dense, dst.gammaEps = a.field, a.dense, a.gammaEps
+	dst.tail, dst.actPow, dst.hasTail = a.tail, a.actPow, a.hasTail
+	dst.load = append(dst.load[:0], a.load...)
+	if a.nearPow != nil {
+		dst.nearPow = append(dst.nearPow[:0], a.nearPow...)
+	} else {
+		dst.nearPow = nil
+	}
 }
 
 // CopyFrom overwrites a's state with b's. Both must derive from the

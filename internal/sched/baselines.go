@@ -57,18 +57,24 @@ func (a ApproxDiversity) Schedule(pr *Problem) Schedule { return a.ScheduleTrace
 // ScheduleTraced implements TracedAlgorithm via the shared elimination
 // core (same phases and counters as RLE).
 func (a ApproxDiversity) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+	return a.scheduleScratch(pr, new(Scratch), tr, nil)
+}
+
+// scheduleScratch is the single implementation behind both entry
+// points (see Greedy.scheduleScratch).
+func (a ApproxDiversity) scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst []int) Schedule {
 	c2 := a.C2
 	if c2 == 0 {
 		c2 = DefaultC2
 	}
-	budget, spread, usable := pr.detHeadroom()
+	budget, spread, usable := pr.detHeadroomIn(boolsIn(&scr.usable, pr.N()))
 	active := eliminationSchedule(pr, eliminationConfig{
 		c1:     detC1For(pr.Params, budget, spread, c2),
 		budget: c2 * budget, // c₂ share of the deterministic budget
-		accum:  newDetAccum(pr),
+		accum:  scr.detAccumFor(pr),
 		usable: usable,
-	}, tr)
-	return NewSchedule(a.Name(), active)
+	}, tr, scr)
+	return finishSchedule(a.Name(), active, dst)
 }
 
 // detAccum adapts the deterministic-SINR relative gain to the

@@ -45,6 +45,38 @@ type TracedAlgorithm interface {
 // and field-backend stats, and the algorithm fills in its phases and
 // counters. Without a tracer every trace call is a nil-receiver no-op.
 func ScheduleContext(ctx context.Context, a Algorithm, pr *Problem) (Schedule, error) {
+	return scheduleWith(ctx, a, pr, nil, nil)
+}
+
+// scratchAlgorithm is implemented by the polynomial algorithms whose
+// inner loops run off a Scratch workspace (Greedy, RLE,
+// ApproxDiversity). dst receives the active set (append into dst[:0];
+// nil allocates fresh — the legacy behavior).
+type scratchAlgorithm interface {
+	Algorithm
+	scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst []int) Schedule
+}
+
+// scratchContextAlgorithm is the context-aware counterpart (DLS).
+type scratchContextAlgorithm interface {
+	Algorithm
+	scheduleScratchContext(ctx context.Context, pr *Problem, scr *Scratch, dst []int) (Schedule, error)
+}
+
+var (
+	_ scratchAlgorithm        = Greedy{}
+	_ scratchAlgorithm        = RLE{}
+	_ scratchAlgorithm        = ApproxDiversity{}
+	_ scratchContextAlgorithm = DLS{}
+)
+
+// scheduleWith is the shared dispatcher behind ScheduleContext and
+// Prepared: scratch-capable algorithms run off the supplied workspace
+// (or a fresh one when scr is nil, reproducing the legacy allocation
+// profile); everything else takes its historical path. Exactly one
+// implementation of each algorithm exists — the prepared and plain
+// entry points produce bit-identical schedules by construction.
+func scheduleWith(ctx context.Context, a Algorithm, pr *Problem, scr *Scratch, dst []int) (Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return Schedule{}, err
 	}
@@ -58,6 +90,22 @@ func ScheduleContext(ctx context.Context, a Algorithm, pr *Problem) (Schedule, e
 	}
 	var s Schedule
 	switch impl := a.(type) {
+	case scratchContextAlgorithm:
+		if scr == nil {
+			scr = new(Scratch)
+		}
+		var err error
+		if s, err = impl.scheduleScratchContext(ctx, pr, scr, dst); err != nil {
+			return Schedule{}, err
+		}
+	case scratchAlgorithm:
+		if scr == nil {
+			scr = new(Scratch)
+		}
+		s = impl.scheduleScratch(pr, scr, tr, dst)
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, err
+		}
 	case ContextAlgorithm:
 		var err error
 		if s, err = impl.ScheduleContext(ctx, pr); err != nil {

@@ -75,6 +75,15 @@ func (a DLS) Schedule(pr *Problem) Schedule {
 // actually ran (quiescence can end it early), total round winners,
 // NACK backoffs, and links that gave up.
 func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error) {
+	return a.scheduleScratchContext(ctx, pr, new(Scratch), nil)
+}
+
+// scheduleScratchContext is the single implementation behind both
+// entry points (see Greedy.scheduleScratch): all per-round state —
+// priorities, winner lists, the tentative accumulator — lives in the
+// scratch, so the protocol's round loop stops churning slices once the
+// scratch is warm.
+func (a DLS) scheduleScratchContext(ctx context.Context, pr *Problem, scr *Scratch, dst []int) (Schedule, error) {
 	tr := obs.TracerFrom(ctx)
 	sp := tr.StartPhase("rounds")
 	defer sp.End()
@@ -93,19 +102,20 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 	n := pr.N()
 	// Headroom handles the noise / heterogeneous-power extensions; on
 	// the paper's model hb = γ_ε, spread = 1, all links usable.
-	hb, spread, usable := pr.headroom()
+	hb, spread, usable := pr.headroomIn(boolsIn(&scr.usable, n))
 	c1 := rleC1For(pr.Params, hb, spread, c2)
 	budget := c2 * hb
 
-	state := make([]dlsState, n)
+	state := intsLikeStates(&scr.state, n)
 	for i := range state {
 		if !usable[i] {
 			state[i] = dlsGaveUp
 		}
 	}
-	retry := make([]int, n)
-	acc := NewInterferenceAccum(pr) // factor on each receiver from active set
-	var active []int
+	retry := intsIn(&scr.retry, n)
+	clear(retry)
+	acc := scr.zeroAccum(pr) // factor on each receiver from active set
+	active := scr.activeBuf(n)
 
 	// contends reports the mutual-interference relation of step 2.
 	contends := func(i, j int) bool {
@@ -120,7 +130,7 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 		}
 		ranRounds++
 		// Local elimination (step 4): links the active set already rules out.
-		undecided := undecidedLinks(state)
+		undecided := undecidedLinks(state, &scr.undecided)
 		if len(undecided) == 0 {
 			break
 		}
@@ -136,7 +146,7 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 				}
 			}
 		}
-		undecided = undecidedLinks(state)
+		undecided = undecidedLinks(state, &scr.undecided)
 		if len(undecided) == 0 {
 			break
 		}
@@ -146,9 +156,10 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 		// win contention against one of length d' with probability
 		// d'²/(d²+d'²). This is the decentralized analogue of RLE's
 		// shortest-first pick rule — each node needs only its own link
-		// length and δ (a deployment constant) to compute it.
+		// length and δ (a deployment constant) to compute it. prio is
+		// indexed by link; only undecided entries are written and read.
 		delta, _ := pr.Links.MinLength()
-		prio := make(map[int]float64, len(undecided))
+		prio := floatsIn(&scr.prio, n)
 		for _, i := range undecided {
 			u := rng.Stream(a.Seed, "dls-prio", uint64(i)<<20|uint64(round)).Float64Open()
 			w := pr.Links.Length(i) / delta
@@ -156,7 +167,7 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 		}
 
 		// Step 2: local leader election.
-		var winners []int
+		winners := scr.winners[:0]
 		for _, i := range undecided {
 			won := true
 			for _, j := range undecided {
@@ -174,15 +185,17 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 				winners = append(winners, i)
 			}
 		}
+		scr.winners = winners
 		if len(winners) == 0 {
 			continue
 		}
 
 		// Step 3: tentative activation + probing rollback.
 		totalWinners += int64(len(winners))
-		_, nacks := a.commitRound(budget, state, retry, retries, acc, &active, winners)
+		_, nacks := a.commitRound(budget, state, retry, retries, acc, &active, winners, scr)
 		totalNacks += nacks
 	}
+	scr.active = active
 	if tr != nil {
 		var gaveUp int64
 		for _, s := range state {
@@ -195,30 +208,33 @@ func (a DLS) ScheduleContext(ctx context.Context, pr *Problem) (Schedule, error)
 		tr.Count(obs.KeyNacks, totalNacks)
 		tr.Count(obs.KeyGaveUp, gaveUp)
 	}
-	return NewSchedule(a.Name(), active), nil
+	return finishSchedule(a.Name(), active, dst), nil
 }
 
 // commitRound applies one round's winners with the NACK rollback and
 // returns how many survived plus how many NACK backoffs the probing
-// issued. acc and active are updated in place.
-func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetries int, acc *Accum, active *[]int, winners []int) (joined int, nacks int64) {
+// issued. acc and active are updated in place; scr supplies the
+// tentative accumulator, the in-winner mask, and the members buffer.
+func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetries int, acc *Accum, active *[]int, winners []int, scr *Scratch) (joined int, nacks int64) {
 	// Tentative view of interference with all winners in.
-	tent := acc.Clone()
+	tent := &scr.acc2
+	acc.CloneInto(tent)
 	for _, w := range winners {
 		tent.AddLink(w)
 	}
-	in := make(map[int]bool, len(winners))
+	in := boolsIn(&scr.inWin, len(state))
 	for _, w := range winners {
 		in[w] = true
 	}
 	members := func() []int {
-		out := append([]int(nil), *active...)
+		out := append(scr.members[:0], *active...)
 		for _, w := range winners {
 			if in[w] {
 				out = append(out, w)
 			}
 		}
 		sort.Ints(out)
+		scr.members = out
 		return out
 	}
 	for {
@@ -271,13 +287,15 @@ func (a DLS) commitRound(budget float64, state []dlsState, retry []int, maxRetri
 	return joined, nacks
 }
 
-func undecidedLinks(state []dlsState) []int {
-	var out []int
+// undecidedLinks collects the still-undecided link indices into *buf.
+func undecidedLinks(state []dlsState, buf *[]int) []int {
+	out := (*buf)[:0]
 	for i, s := range state {
 		if s == dlsUndecided {
 			out = append(out, i)
 		}
 	}
+	*buf = out
 	return out
 }
 

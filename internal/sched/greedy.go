@@ -23,30 +23,35 @@ func (g Greedy) Schedule(pr *Problem) Schedule { return g.ScheduleTraced(pr, nil
 // ScheduleTraced implements TracedAlgorithm: phases "sort" and
 // "insert", counters for links admitted vs rejected by the budget
 // checks.
-func (Greedy) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+func (g Greedy) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+	return g.scheduleScratch(pr, new(Scratch), tr, nil)
+}
+
+// scheduleScratch is the single implementation behind both entry
+// points: a fresh Scratch reproduces the historical allocation
+// profile, a pooled one (via Prepared) makes the loop allocation-free.
+func (g Greedy) scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst []int) Schedule {
 	n := pr.N()
+	// Pick order: descending rate, ties by ascending length, then by
+	// index (sort.Stable). Keys are negated rates so the shared
+	// ascending two-key sorter realizes the descending-rate order.
 	sp := tr.StartPhase("sort")
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	ps := scr.pickSorterBufs(n, true)
+	for i := 0; i < n; i++ {
+		ps.k1[i] = -pr.Links.Rate(i)
+		ps.k2[i] = pr.Links.Length(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := pr.Links.Rate(order[a]), pr.Links.Rate(order[b])
-		if ra != rb {
-			return ra > rb
-		}
-		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
-	})
+	sort.Stable(ps)
 	sp.End()
 
 	// acc tracks each receiver's total budget usage: its noise term
 	// (zero in the paper's model) plus interference from the current
 	// set. Greedy needs no headroom slack — it checks the exact budget.
 	sp = tr.StartPhase("insert")
-	acc := NewAccum(pr)
-	var active []int
+	acc := scr.noiseAccum(pr)
+	active := scr.activeBuf(n)
 	rejected := 0
-	for _, i := range order {
+	for _, i := range ps.order {
 		// Candidate's own budget with the current set (Informed applies
 		// the same rounding slack as the Verify cross-check).
 		if !pr.Params.Informed(acc.Load(i)) {
@@ -68,10 +73,11 @@ func (Greedy) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
 		acc.AddLink(i)
 		active = append(active, i)
 	}
+	scr.active = active
 	sp.End()
 	tr.Count(obs.KeyAdmitted, int64(len(active)))
 	tr.Count(obs.KeyRejected, int64(rejected))
-	return NewSchedule("greedy", active)
+	return finishSchedule(g.Name(), active, dst)
 }
 
 func init() {

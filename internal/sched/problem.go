@@ -22,6 +22,9 @@ type Problem struct {
 	build     fieldBuilder
 	fieldName string
 	n         int
+	// gen counts geometry rebinds; Prepared's shared caches (sender
+	// index, median length) are valid for exactly one generation.
+	gen uint64
 }
 
 // NewProblem validates parameters and constructs the interference
@@ -115,6 +118,7 @@ func (pr *Problem) Rebind(ls *network.LinkSet, moved []int) error {
 		pr.field = field
 	}
 	pr.Links = ls
+	pr.gen++
 	return nil
 }
 
@@ -134,8 +138,13 @@ func (pr *Problem) Rebind(ls *network.LinkSet, moved []int) error {
 // With N0 = 0 and uniform power this is (γ_ε, 1, all-true) and every
 // algorithm behaves byte-identically to the paper's pseudocode.
 func (pr *Problem) headroom() (budget, spread float64, usable []bool) {
+	return pr.headroomIn(make([]bool, pr.n))
+}
+
+// headroomIn is headroom writing the usable mask into a caller-owned
+// buffer (len pr.n, all false) — the scratch-pooled form.
+func (pr *Problem) headroomIn(usable []bool) (budget, spread float64, _ []bool) {
 	ge := pr.GammaEps()
-	usable = make([]bool, pr.n)
 	var worstNoise float64
 	minP, maxP := math.Inf(1), 0.0
 	any := false
@@ -169,7 +178,11 @@ func (pr *Problem) headroom() (budget, spread float64, usable []bool) {
 // γ_th·N0/(P_j·d_jj^{−α}). Reduces to (1, 1, all-true) on the paper's
 // model.
 func (pr *Problem) detHeadroom() (budget, spread float64, usable []bool) {
-	usable = make([]bool, pr.n)
+	return pr.detHeadroomIn(make([]bool, pr.n))
+}
+
+// detHeadroomIn is detHeadroom writing into a caller-owned mask.
+func (pr *Problem) detHeadroomIn(usable []bool) (budget, spread float64, _ []bool) {
 	var worstNoise float64
 	minP, maxP := math.Inf(1), 0.0
 	any := false

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"repro/internal/geom"
-	"repro/internal/mathx"
 	"repro/internal/obs"
 )
 
@@ -44,18 +43,24 @@ func (a RLE) Schedule(pr *Problem) Schedule { return a.ScheduleTraced(pr, nil) }
 // ScheduleTraced implements TracedAlgorithm: the shared elimination
 // core reports pick/elimination counters and phase timings into tr.
 func (a RLE) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
+	return a.scheduleScratch(pr, new(Scratch), tr, nil)
+}
+
+// scheduleScratch is the single implementation behind both entry
+// points (see Greedy.scheduleScratch).
+func (a RLE) scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst []int) Schedule {
 	c2 := a.C2
 	if c2 == 0 {
 		c2 = DefaultC2
 	}
-	budget, spread, usable := pr.headroom()
+	budget, spread, usable := pr.headroomIn(boolsIn(&scr.usable, pr.N()))
 	active := eliminationSchedule(pr, eliminationConfig{
 		c1:     rleC1For(pr.Params, budget, spread, c2),
 		budget: c2 * budget,
-		accum:  NewInterferenceAccum(pr),
+		accum:  scr.zeroAccum(pr),
 		usable: usable,
-	}, tr)
-	return NewSchedule(a.Name(), active)
+	}, tr, scr)
+	return finishSchedule(a.Name(), active, dst)
 }
 
 // eliminationConfig parameterizes the shared shortest-link-first
@@ -86,33 +91,36 @@ type interferenceAccum interface {
 	Load(j int) float64
 }
 
-func eliminationSchedule(pr *Problem, cfg eliminationConfig, tr *obs.Tracer) []int {
+// eliminationSchedule returns the raw (pick-ordered) active set in a
+// scratch-owned buffer; callers copy it out via finishSchedule before
+// the scratch is reused.
+func eliminationSchedule(pr *Problem, cfg eliminationConfig, tr *obs.Tracer, scr *Scratch) []int {
 	n := pr.N()
 	// Pick order: ascending link length, ties by index (deterministic).
 	sp := tr.StartPhase("sort")
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	ps := scr.pickSorterBufs(n, false)
+	for i := 0; i < n; i++ {
+		ps.k1[i] = pr.Links.Length(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
-	})
+	sort.Stable(ps)
 	sp.End()
 
 	sp = tr.StartPhase("eliminate")
-	alive := make([]bool, n)
+	alive := boolsIn(&scr.alive, n)
 	for i := range alive {
 		alive[i] = cfg.usable == nil || cfg.usable[i]
 	}
 	// Rule-1 queries go through a grid index over the senders instead of
 	// an O(n) scan per pick; elimination radii scale with the picked
 	// link's length, so the cell side comes from the median length.
-	senders := pr.Links.Senders()
-	idx := geom.NewIndex(senders, rule1IndexSide(pr, cfg.c1))
-	var active []int
+	// Through a Prepared handle both the senders slice and the index are
+	// shared immutable caches; standalone scratches build them per call.
+	senders := scr.sendersOf(pr)
+	idx := scr.rule1Index(pr, senders, rule1IndexSide(pr, cfg.c1, scr))
+	active := scr.activeBuf(n)
 	var rule1, rule2 int64
 
-	for _, i := range order {
+	for _, i := range ps.order {
 		if !alive[i] {
 			continue
 		}
@@ -141,6 +149,7 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig, tr *obs.Tracer) []i
 		})
 		cfg.accum.AddLink(i)
 	}
+	scr.active = active
 	sp.End()
 	tr.Count(obs.KeyPicks, int64(len(active)))
 	tr.Count(obs.KeyRule1, rule1)
@@ -151,17 +160,12 @@ func eliminationSchedule(pr *Problem, cfg eliminationConfig, tr *obs.Tracer) []i
 // rule1IndexSide derives a grid cell side for the rule-1 sender index:
 // a third of the median elimination radius, with a bounding-box
 // fallback when the radii are degenerate (empty instance, extreme c₁).
-func rule1IndexSide(pr *Problem, c1 float64) float64 {
-	n := pr.N()
-	lengths := make([]float64, n)
-	for i := 0; i < n; i++ {
-		lengths[i] = pr.Links.Length(i)
-	}
-	side := c1 * mathx.Median(lengths) / 3
+func rule1IndexSide(pr *Problem, c1 float64, scr *Scratch) float64 {
+	side := c1 * scr.medianLength(pr) / 3
 	if side > 0 && !math.IsInf(side, 1) {
 		return side
 	}
-	box := geom.BoundingBox(pr.Links.Senders())
+	box := geom.BoundingBox(scr.sendersOf(pr))
 	return math.Max(box.Width(), box.Height())/64 + 1
 }
 

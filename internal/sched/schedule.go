@@ -33,6 +33,20 @@ func NewSchedule(algorithm string, idxs []int) Schedule {
 // Len returns the number of scheduled links.
 func (s Schedule) Len() int { return len(s.Active) }
 
+// Equal reports whether two schedules activate the same link set under
+// the same algorithm name.
+func (s Schedule) Equal(o Schedule) bool {
+	if s.Algorithm != o.Algorithm || len(s.Active) != len(o.Active) {
+		return false
+	}
+	for i, v := range s.Active {
+		if v != o.Active[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether link i is scheduled.
 func (s Schedule) Contains(i int) bool {
 	k := sort.SearchInts(s.Active, i)

@@ -44,6 +44,22 @@ func BenchmarkSolveColdVsWarm(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			srv.ResetCache()
+			srv.ResetPreparedCache()
+			do(b, "miss")
+		}
+	})
+	// prepared-field: response cache cold every iteration (a real solve
+	// runs), but the prepared field stays resident — the tier this PR
+	// adds. The gap to "cold" is the field build + solver allocation
+	// cost the prepared cache removes from repeat-linkset traffic.
+	b.Run("prepared-field", func(b *testing.B) {
+		srv.ResetCache()
+		srv.ResetPreparedCache()
+		do(b, "miss") // prime the prepared cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.ResetCache()
 			do(b, "miss")
 		}
 	})
@@ -56,4 +72,40 @@ func BenchmarkSolveColdVsWarm(b *testing.B) {
 			do(b, "hit")
 		}
 	})
+}
+
+// BenchmarkSolveBatch measures /v1/solve/batch end to end: four
+// algorithm/ε configs over one n=600 link set, one field build per
+// request (the response cache is reset each iteration so every config
+// actually solves).
+//
+//	go test -run '^$' -bench BenchmarkSolveBatch ./internal/server/
+func BenchmarkSolveBatch(b *testing.B) {
+	ls, err := network.Generate(network.PaperConfig(600), 42, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(BatchRequest{
+		Links: ls.Links(),
+		Configs: []BatchConfig{
+			{Algorithm: "greedy"},
+			{Algorithm: "rle"},
+			{Algorithm: "approxdiversity"},
+			{Algorithm: "rle", Eps: 0.05},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		srv.ResetCache()
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve/batch", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
 }

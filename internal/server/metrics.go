@@ -51,6 +51,13 @@ type Metrics struct {
 	cacheMiss *obs.Counter
 	latency   *obs.Histogram
 
+	prepHits   *obs.Counter
+	prepMiss   *obs.Counter
+	prepBuilds *obs.Counter
+	prepEvict  *obs.Counter
+	prepSize   *obs.Gauge
+	batchSizes *obs.Histogram
+
 	mu     sync.Mutex
 	byCode map[int]*obs.Counter
 
@@ -72,7 +79,15 @@ func NewMetrics() *Metrics {
 		cacheHits: reg.Counter("schedd_cache_hits_total", "Solve responses served from the result cache."),
 		cacheMiss: reg.Counter("schedd_cache_misses_total", "Solve requests that missed the result cache."),
 		latency:   reg.Histogram("schedd_request_duration_seconds", "End-to-end HTTP request latency in seconds.", nil),
-		byCode:    map[int]*obs.Counter{},
+		prepHits:  reg.Counter("schedd_prepared_cache_hits_total", "Solves that reused a cached prepared interference field."),
+		prepMiss:  reg.Counter("schedd_prepared_cache_misses_total", "Solves that found no prepared field for their link set."),
+		prepBuilds: reg.Counter("schedd_prepared_builds_total",
+			"Interference-field constructions performed (single-flight: concurrent misses on one key build once)."),
+		prepEvict: reg.Counter("schedd_prepared_cache_evictions_total", "Prepared fields evicted by LRU capacity pressure."),
+		prepSize:  reg.Gauge("schedd_prepared_cache_size", "Prepared fields currently resident."),
+		batchSizes: reg.Histogram("schedd_batch_configs", "Solve configs per /v1/solve/batch request.",
+			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		byCode: map[int]*obs.Counter{},
 	}
 	reg.GaugeFunc("schedd_goroutines", "Live goroutines in the process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
@@ -90,6 +105,11 @@ func NewMetrics() *Metrics {
 	m.vars.Set("cache_misses", expvar.Func(func() interface{} { return m.cacheMiss.Value() }))
 	m.vars.Set("cache_hit_rate", expvar.Func(m.hitRate))
 	m.vars.Set("latency_seconds", expvar.Func(m.latencyQuantiles))
+	m.vars.Set("prepared_hits", expvar.Func(func() interface{} { return m.prepHits.Value() }))
+	m.vars.Set("prepared_misses", expvar.Func(func() interface{} { return m.prepMiss.Value() }))
+	m.vars.Set("prepared_builds", expvar.Func(func() interface{} { return m.prepBuilds.Value() }))
+	m.vars.Set("prepared_evictions", expvar.Func(func() interface{} { return m.prepEvict.Value() }))
+	m.vars.Set("prepared_size", expvar.Func(func() interface{} { return m.prepSize.Value() }))
 	m.vars.Set("obs", reg.Expvar())
 	return m
 }
@@ -141,6 +161,23 @@ func (m *Metrics) SolveDone(algorithm string) {
 // CacheHit / CacheMiss feed the hit-rate gauge.
 func (m *Metrics) CacheHit()  { m.cacheHits.Inc() }
 func (m *Metrics) CacheMiss() { m.cacheMiss.Inc() }
+
+// Prepared-field cache accounting (see prepCache).
+func (m *Metrics) PreparedHit()       { m.prepHits.Inc() }
+func (m *Metrics) PreparedMiss()      { m.prepMiss.Inc() }
+func (m *Metrics) PreparedBuild()     { m.prepBuilds.Inc() }
+func (m *Metrics) PreparedEviction()  { m.prepEvict.Inc() }
+func (m *Metrics) PreparedSize(n int) { m.prepSize.Set(int64(n)) }
+
+// PreparedBuilds returns the cumulative field-construction count
+// (tests assert the batch endpoint builds exactly once per request).
+func (m *Metrics) PreparedBuilds() int64 { return m.prepBuilds.Value() }
+
+// PreparedEvictions returns the cumulative eviction count.
+func (m *Metrics) PreparedEvictions() int64 { return m.prepEvict.Value() }
+
+// BatchObserved records one batch request's config count.
+func (m *Metrics) BatchObserved(configs int) { m.batchSizes.Observe(float64(configs)) }
 
 // InFlight returns the current gauge value (used by tests).
 func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// prepCache is the bounded LRU of prepared interference fields, keyed
+// by the canonical field hash (SolveRequest.fieldKey). It is a
+// deliberately separate tier from resultCache: a response-cache miss
+// on (linkset, algorithm, params) still reuses the O(n²) field built
+// for any prior algorithm or ε on the same link set — the expensive
+// object outlives the cheap one.
+//
+// Construction is single-flight: concurrent misses on one key share a
+// sync.Once, so a field is built at most once per cache residency no
+// matter how many requests race for it; latecomers block on the
+// builder and read its result. Failed builds are purged immediately so
+// a transient error is not cached. Entries evicted mid-build simply
+// complete for their waiters and become garbage.
+type prepCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[cacheKey]*list.Element
+
+	m *Metrics
+}
+
+// prepEntry is one cached field. build is set by the creating request
+// and executed exactly once, under once, by whichever caller gets
+// there first.
+type prepEntry struct {
+	key   cacheKey
+	once  sync.Once
+	build func() (*sched.Prepared, error)
+	prep  *sched.Prepared
+	err   error
+}
+
+func (e *prepEntry) run() {
+	e.once.Do(func() {
+		e.prep, e.err = e.build()
+		e.build = nil
+	})
+}
+
+// newPrepCache returns an LRU holding up to capacity prepared fields;
+// a non-positive capacity disables caching (every getOrBuild builds).
+func newPrepCache(capacity int, m *Metrics) *prepCache {
+	return &prepCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+		m:     m,
+	}
+}
+
+// getOrBuild returns the prepared field for k, constructing it via
+// build on a miss. build runs outside the cache lock (field
+// construction is the expensive part) and its cost is attributed to
+// whichever request created the entry — callers that need per-request
+// build accounting count inside their closure.
+func (c *prepCache) getOrBuild(k cacheKey, build func() (*sched.Prepared, error)) (*sched.Prepared, error) {
+	if c.cap <= 0 {
+		c.m.PreparedMiss()
+		c.m.PreparedBuild()
+		return build()
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*prepEntry)
+		c.mu.Unlock()
+		c.m.PreparedHit()
+		e.run() // waits if the original builder is still running
+		if e.err != nil {
+			// The builder failed after we hit its entry; purge (the
+			// builder's own error path may already have) and surface it.
+			c.remove(k, e)
+			return nil, e.err
+		}
+		return e.prep, nil
+	}
+	e := &prepEntry{key: k, build: build}
+	c.items[k] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*prepEntry).key)
+		c.m.PreparedEviction()
+	}
+	c.m.PreparedSize(c.ll.Len())
+	c.mu.Unlock()
+
+	c.m.PreparedMiss()
+	c.m.PreparedBuild()
+	e.run()
+	if e.err != nil {
+		c.remove(k, e)
+		return nil, e.err
+	}
+	return e.prep, nil
+}
+
+// remove drops k's entry iff it still maps to e (a failed build must
+// not purge a healthy replacement inserted meanwhile).
+func (c *prepCache) remove(k cacheKey, e *prepEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok && el.Value.(*prepEntry) == e {
+		c.ll.Remove(el)
+		delete(c.items, k)
+		c.m.PreparedSize(c.ll.Len())
+	}
+}
+
+// len reports the number of resident entries.
+func (c *prepCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// reset empties the cache (benchmarks measure the cold path with it).
+func (c *prepCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+	c.m.PreparedSize(0)
+}

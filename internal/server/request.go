@@ -169,6 +169,53 @@ func (q *SolveRequest) hash() cacheKey {
 	return cacheKey(h.Sum(nil))
 }
 
+// fieldKey is the canonical interference-field hash: a SHA-256 over
+// exactly the inputs that determine the built field — the link
+// geometry and the field-shaping radio parameters (α, γ_th, P, N0)
+// plus the backend selection. ε joins only for non-dense backends,
+// whose default truncation cutoff derives from γ_ε. Algorithm, ε (on
+// dense), and the Monte-Carlo knobs are deliberately excluded: that is
+// what lets a response-cache miss on (linkset, algorithm, params)
+// still reuse the field built for any prior solve on the same links.
+func (q *SolveRequest) fieldKey() cacheKey {
+	h := sha256.New()
+	var scratch [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		h.Write(scratch[:])
+	}
+	writeS := func(s string) {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(len(s)))
+		h.Write(scratch[:])
+		h.Write([]byte(s))
+	}
+	writeS("schedd/field/v1")
+	p := q.params()
+	for _, v := range []float64{p.Alpha, p.GammaTh, p.Power, p.N0} {
+		writeF(v)
+	}
+	field := q.Field
+	if field == "" {
+		field = "dense"
+	}
+	writeS(field)
+	writeF(q.Cutoff)
+	if field != "dense" {
+		writeF(p.Eps)
+	}
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(q.Links)))
+	h.Write(scratch[:])
+	for _, l := range q.Links {
+		writeF(l.Sender.X)
+		writeF(l.Sender.Y)
+		writeF(l.Receiver.X)
+		writeF(l.Receiver.Y)
+		writeF(l.Rate)
+		writeF(l.Power)
+	}
+	return cacheKey(h.Sum(nil))
+}
+
 // SolveResponse is the wire form of a successful solve.
 type SolveResponse struct {
 	Algorithm string `json:"algorithm"`

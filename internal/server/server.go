@@ -10,9 +10,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mc"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -25,6 +27,12 @@ type Config struct {
 	// CacheSize is the LRU capacity in responses (0 = 256, negative
 	// disables caching).
 	CacheSize int
+	// PreparedCacheSize is the LRU capacity in prepared interference
+	// fields (0 = 16, negative disables). This tier is separate from
+	// the response cache: one resident field serves every algorithm and
+	// ε on its link set. Dense fields cost O(n²) memory — n=2000 is
+	// ~32 MiB — so the default stays small.
+	PreparedCacheSize int
 	// MaxBodyBytes caps the request body (0 = 8 MiB). Larger bodies
 	// get 413.
 	MaxBodyBytes int64
@@ -46,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.PreparedCacheSize == 0 {
+		c.PreparedCacheSize = 16
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -70,6 +81,7 @@ type Server struct {
 	cfg     Config
 	pool    *pool
 	cache   *resultCache
+	preps   *prepCache
 	metrics *Metrics
 	log     *slog.Logger
 	mux     *http.ServeMux
@@ -85,6 +97,7 @@ func New(cfg Config) *Server {
 		metrics: NewMetrics(),
 		log:     cfg.Logger,
 	}
+	s.preps = newPrepCache(cfg.PreparedCacheSize, s.metrics)
 	if s.log == nil {
 		s.log = obs.Discard()
 	}
@@ -97,6 +110,7 @@ func New(cfg Config) *Server {
 		func() float64 { return float64(s.pool.queued()) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -115,6 +129,10 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // the cold path; operators can curl it away via a restart instead, so
 // it is intentionally not routed.
 func (s *Server) ResetCache() { s.cache.reset() }
+
+// ResetPreparedCache empties the prepared-field cache (benchmarks
+// measure the cold-build path with it).
+func (s *Server) ResetPreparedCache() { s.preps.reset() }
 
 // ServeHTTP implements http.Handler with the observability middleware
 // wrapped around the route table: every request gets a fresh trace ID
@@ -225,11 +243,64 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.pool.release()
 
-	pr, err := req.problem()
+	encoded, err := s.solveToBody(ctx, &req, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeRequestFailure(w, err)
 		return
 	}
+	s.cache.put(key, encoded)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "miss")
+	w.Write(encoded)
+}
+
+// prepared resolves the request's scheduling instance through the
+// prepared-field cache: the expensive interference field is fetched (or
+// built, single-flight) under the field key, then Derive layers the
+// request's full parameter set — typically just a different ε — over
+// the shared field without copying it. builds, when non-nil, counts
+// field constructions attributed to this caller (the batch endpoint
+// reports it).
+func (s *Server) prepared(q *SolveRequest, builds *atomic.Int64) (*sched.Prepared, error) {
+	prep, err := s.preps.getOrBuild(q.fieldKey(), func() (*sched.Prepared, error) {
+		if builds != nil {
+			builds.Add(1)
+		}
+		ls, err := network.NewLinkSet(q.Links)
+		if err != nil {
+			return nil, &badRequestError{msg: "invalid links: " + err.Error()}
+		}
+		opt, err := q.fieldOption()
+		if err != nil {
+			return nil, &badRequestError{msg: err.Error()}
+		}
+		pp, err := sched.Prepare(ls, q.params(), opt)
+		if err != nil {
+			return nil, &badRequestError{msg: err.Error()}
+		}
+		return pp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dp, err := prep.Derive(q.params())
+	if err != nil {
+		return nil, &badRequestError{msg: err.Error()}
+	}
+	return dp, nil
+}
+
+// solveToBody is the post-admission solve pipeline shared by the
+// single and batch endpoints: prepared-field resolution, the traced
+// solve, feasibility verification, optional Monte-Carlo validation,
+// and encoding. The caller holds a worker-pool slot. The returned body
+// is newline-terminated and ready for the response cache.
+func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomic.Int64) ([]byte, error) {
+	prep, err := s.prepared(q, builds)
+	if err != nil {
+		return nil, err
+	}
+	pr := prep.Problem()
 	// The tracer rides the context into the solver; its snapshot is the
 	// response's stats field. Trace stats go in the cached body — a hit
 	// replays the first solve's timings, which is the honest answer for
@@ -238,24 +309,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// byte-identical across requests.
 	tr := obs.NewTracer()
 	ctx = obs.WithTracer(ctx, tr)
-	schedule, err := solve(ctx, req.Algorithm, pr)
+	schedule, err := solve(ctx, q.Algorithm, prep)
 	if err != nil {
 		s.metrics.SolveError()
-		s.log.LogAttrs(r.Context(), slog.LevelWarn, "solve failed",
-			slog.String("algorithm", req.Algorithm), slog.Int("links", len(req.Links)),
+		s.log.LogAttrs(ctx, slog.LevelWarn, "solve failed",
+			slog.String("algorithm", q.Algorithm), slog.Int("links", len(q.Links)),
 			slog.String("error", err.Error()))
-		var refused *solverRefusedError
-		if errors.As(err, &refused) {
-			writeError(w, http.StatusBadRequest, refused.Error())
-			return
-		}
-		writeSolveFailure(w, err)
-		return
+		return nil, err
 	}
-	s.metrics.SolveDone(req.Algorithm)
+	s.metrics.SolveDone(q.Algorithm)
 
 	resp := &SolveResponse{
-		Algorithm:        req.Algorithm,
+		Algorithm:        q.Algorithm,
 		N:                pr.N(),
 		Field:            pr.FieldName(),
 		Active:           schedule.Active,
@@ -265,16 +330,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ExpectedFailures: sched.ExpectedFailures(pr, schedule),
 		Stats:            tr.Stats(),
 	}
-	if req.MCSlots > 0 {
+	if q.MCSlots > 0 {
 		if err := ctx.Err(); err != nil { // don't start a sim after the deadline
-			writeSolveFailure(w, err)
-			return
+			return nil, err
 		}
-		sim, err := mc.Simulate(pr, schedule, mc.Config{Slots: req.MCSlots, Seed: req.MCSeed, Workers: 1})
+		sim, err := mc.Simulate(pr, schedule, mc.Config{Slots: q.MCSlots, Seed: q.MCSeed, Workers: 1})
 		if err != nil {
 			s.metrics.SolveError()
-			writeError(w, http.StatusInternalServerError, "simulation failed: "+err.Error())
-			return
+			return nil, fmt.Errorf("simulation failed: %w", err)
 		}
 		resp.Simulation = &SimulationResult{
 			Slots:        sim.Slots,
@@ -286,14 +349,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	encoded, err := json.Marshal(resp)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
-		return
+		return nil, fmt.Errorf("encoding response: %w", err)
 	}
-	encoded = append(encoded, '\n')
-	s.cache.put(key, encoded)
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "miss")
-	w.Write(encoded)
+	return append(encoded, '\n'), nil
 }
 
 // solverRefusedError marks a solver panic on otherwise-valid input —
@@ -303,17 +361,40 @@ type solverRefusedError struct{ reason string }
 
 func (e *solverRefusedError) Error() string { return e.reason }
 
-// solve runs the algorithm, converting solver panics into errors so a
-// valid-JSON request can never drop the connection: the library's
-// panic contracts (Exact refusing n > MaxN) are programmer guards, not
-// acceptable daemon behavior.
-func solve(ctx context.Context, name string, pr *sched.Problem) (s sched.Schedule, err error) {
+// badRequestError marks a client-side failure discovered after
+// admission (invalid links, incompatible derive), mapped to 400.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+// solve runs the algorithm through the prepared handle's pooled
+// scratch, converting solver panics into errors so a valid-JSON
+// request can never drop the connection: the library's panic contracts
+// (Exact refusing n > MaxN) are programmer guards, not acceptable
+// daemon behavior.
+func solve(ctx context.Context, name string, prep *sched.Prepared) (s sched.Schedule, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &solverRefusedError{reason: fmt.Sprintf("solver %q refused the instance: %v", name, r)}
 		}
 	}()
-	return sched.SolveContext(ctx, name, pr)
+	return prep.SolveContext(ctx, name)
+}
+
+// writeRequestFailure maps a solveToBody error onto HTTP: client
+// mistakes (bad links, solver contract refusals) are 400, everything
+// else goes through the context-aware writeSolveFailure.
+func writeRequestFailure(w http.ResponseWriter, err error) {
+	var bad *badRequestError
+	var refused *solverRefusedError
+	switch {
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, bad.Error())
+	case errors.As(err, &refused):
+		writeError(w, http.StatusBadRequest, refused.Error())
+	default:
+		writeSolveFailure(w, err)
+	}
 }
 
 // writeSolveFailure maps context errors onto HTTP: a spent deadline is

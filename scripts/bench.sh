@@ -1,0 +1,95 @@
+#!/bin/sh
+# bench.sh — run the PR 5 performance suite and emit a machine-readable
+# record (BENCH_PR5.json by default): ns/op, B/op, and allocs/op for
+# the figure-regeneration bench (Fig 5a), interference-field
+# construction, cold-build vs warm-prepared solves, and the schedd
+# end-to-end paths (cold / prepared-field / response-cache-warm /
+# batch).
+#
+#   scripts/bench.sh              full run, writes BENCH_PR5.json
+#   scripts/bench.sh -quick       1-iteration smoke (check.sh uses this)
+#   scripts/bench.sh -o out.json  choose the output path
+#
+# BENCHTIME overrides the per-benchmark budget (default 1s; -quick
+# forces 1x).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR5.json
+benchtime=${BENCHTIME:-1s}
+quick=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -quick)
+        quick=1
+        benchtime=1x
+        ;;
+    -o)
+        out=$2
+        shift
+        ;;
+    *)
+        echo "usage: bench.sh [-quick] [-o file]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+tmp=$(mktemp)
+part=$(mktemp)
+trap 'rm -f "$tmp" "$part"' EXIT
+
+run() { # run <package> <bench regex>
+    # Capture first, append on success: a pipeline into tee would hide
+    # go test's exit status from `set -e`.
+    if ! go test -run '^$' -bench "$2" -benchtime "$benchtime" "$1" >"$part" 2>&1; then
+        cat "$part" >&2
+        echo "bench.sh: go test -bench $2 $1 failed" >&2
+        exit 1
+    fi
+    cat "$part"
+    cat "$part" >>"$tmp"
+}
+
+if [ "$quick" = 1 ]; then
+    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
+    run ./internal/server/ 'BenchmarkSolveBatch$'
+else
+    run . 'BenchmarkFig5a$'
+    run . 'BenchmarkNewProblem$'
+    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
+    run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$'
+fi
+
+# Parse `go test -bench` result lines into JSON. A line is
+#   BenchmarkName-P  iters  v1 unit1  v2 unit2 ...
+# where the units are ns/op, B/op, allocs/op, and any custom
+# b.ReportMetric units; each becomes a key with '/' spelled _per_.
+{
+    printf '{\n'
+    printf '  "id": "BENCH_PR5",\n'
+    printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ && NF >= 4 {
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iters\": %s", $1, $2
+            for (i = 3; i < NF; i += 2) {
+                key = $(i + 1)
+                gsub(/\//, "_per_", key)
+                gsub(/[^A-Za-z0-9_]/, "_", key)
+                printf ", \"%s\": %s", key, $i
+            }
+            printf "}"
+        }
+        END { if (n) printf "\n" }
+    ' "$tmp"
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out"

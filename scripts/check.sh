@@ -38,6 +38,17 @@ echo "== obs overhead gate"
 # tracer; the benchmark run alongside prints the ns/op evidence.
 go test -run TestTracerDisabledAllocs -bench BenchmarkTracerDisabled -benchtime 1000x -count=1 ./internal/obs
 
+echo "== prepared zero-alloc gate"
+# The steady-state 0 allocs/op contract on greedy/RLE/diversity solves
+# through a Prepared handle. Skipped automatically under -race (the
+# detector instruments allocations), so this is the run that counts.
+go test -run 'TestPreparedSolveZeroAllocs|TestPreparedConcurrent' -count=1 ./internal/sched/
+
+echo "== bench smoke"
+# One-iteration pass over the prepared/batch benchmarks proving the
+# JSON emitter works end to end; the full run is `make bench-json`.
+sh scripts/bench.sh -quick -o /tmp/bench_pr5_smoke.json
+
 echo "== serve smoke"
 # Boot the daemon end to end: listen, solve one instance over HTTP,
 # scrape metrics, drain cleanly.
