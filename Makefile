@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench bench-json bench-serve bench-obs build fmt vet fuzz serve serve-smoke metrics-smoke
+.PHONY: check test test-full bench bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -22,10 +22,16 @@ test-full:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
 
-## bench-json: the PR 5 performance suite → BENCH_PR5.json
-## (Fig 5a, field build, cold vs warm-prepared solve, schedd end-to-end)
+## bench-json: the full performance suite → BENCH_PR6.json
+## (Fig 5a, field build, cold vs warm-prepared solve, schedd
+## end-to-end, traffic engine)
 bench-json:
 	sh scripts/bench.sh
+
+## bench-traffic: traffic-engine per-slot cost (0 allocs/op) and the
+## ≥1M-packet n=5000 throughput run with its packets/sec metric
+bench-traffic:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineStep$$|BenchmarkEngineThroughput$$' ./internal/traffic/
 
 ## bench-serve: schedd cold/prepared-field/warm cache benchmark (n=1000)
 bench-serve:

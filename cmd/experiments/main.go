@@ -67,7 +67,7 @@ func run(args []string, out io.Writer) error {
 	}
 	specs := fadingrls.Experiments()
 
-	custom := map[string]bool{"ratio": true, "thm31": true, "multislot": true, "traffic": true, "staleness": true, "diversity": true}
+	custom := map[string]bool{"ratio": true, "thm31": true, "multislot": true, "traffic": true, "stability": true, "staleness": true, "diversity": true}
 	var ids []string
 	switch {
 	case *fig == "all":
@@ -75,7 +75,7 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
-		ids = append(ids, "ratio", "thm31", "multislot", "traffic", "staleness", "diversity")
+		ids = append(ids, "ratio", "thm31", "multislot", "traffic", "stability", "staleness", "diversity")
 	default:
 		for _, id := range strings.Split(*fig, ",") {
 			id = strings.TrimSpace(id)
@@ -119,6 +119,14 @@ func run(args []string, out io.Writer) error {
 			}
 		case "traffic":
 			tab, err := fadingrls.RunTrafficTable(opts)
+			if err != nil {
+				return err
+			}
+			if err := emit(out, tab, id, ec); err != nil {
+				return err
+			}
+		case "stability":
+			tab, err := fadingrls.RunStabilityTable(opts)
 			if err != nil {
 				return err
 			}

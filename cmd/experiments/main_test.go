@@ -133,4 +133,8 @@ func TestDiversityAndTrafficTables(t *testing.T) {
 	if !strings.Contains(out, "Table F") {
 		t.Errorf("traffic table missing:\n%s", out)
 	}
+	out = runCLI(t, append([]string{"-fig", "stability"}, quick...)...)
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "maxqueue") {
+		t.Errorf("stability table missing:\n%s", out)
+	}
 }

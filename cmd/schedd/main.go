@@ -8,7 +8,10 @@
 // returns the activation set (with solver trace stats) and per-link
 // success probabilities; POST /v1/solve/batch solves one link set
 // under many algorithm/ε configs with a single interference-field
-// build; see the README's "Serving" section for the schemas.
+// build; POST /v1/traffic runs a queued-traffic simulation (arrival
+// process, queue policy, deadline-truncated) over the same cached
+// interference fields; see the README's "Serving" section for the
+// schemas.
 // GET /v1/algorithms lists the registry; GET /metrics serves
 // Prometheus text exposition; /debug/vars serves expvar metrics; the
 // debug address additionally serves net/http/pprof and should stay on

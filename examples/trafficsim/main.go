@@ -1,15 +1,17 @@
 // Trafficsim: the system-level consequence of fading-resistant
 // scheduling. Packets arrive at every link's sender; each slot the
-// chosen algorithm schedules the backlogged links; each transmission
-// rides a live Rayleigh channel and failed packets are retransmitted.
+// traffic engine selects a queue-aware transmission set through one
+// long-lived Prepared solve handle; each transmission rides a live
+// Rayleigh channel and failed packets are retransmitted.
 //
-// The run compares end-to-end goodput, loss rate, and delay across
-// schedulers, then prints a complete multi-slot plan (the paper's
-// stated future work: drain every link in the minimum number of
-// slots).
+// The run compares end-to-end goodput, loss rate, delay, and backlog
+// drift across the engine's queue policies, then prints a complete
+// multi-slot plan (the paper's stated future work: drain every link
+// in the minimum number of slots).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,29 +28,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	prep := fadingrls.NewPrepared(pr)
 
 	fmt.Println("traffic: 120 links, Bernoulli(0.08) arrivals, 400 slots, Rayleigh channel")
-	fmt.Printf("%-18s %10s %10s %10s %12s %10s %12s\n",
-		"scheduler", "delivered", "backlog", "loss rate", "mean delay", "p95 delay", "goodput/slot")
-	for _, algo := range []fadingrls.Algorithm{
-		fadingrls.RLE{},
-		fadingrls.LDP{},
-		fadingrls.Greedy{},
-		fadingrls.ApproxDiversity{},
-	} {
-		res, err := fadingrls.RunTraffic(pr, fadingrls.TrafficConfig{
-			Slots: 400, ArrivalProb: 0.08, Scheduler: algo, Seed: seed,
+	fmt.Printf("%-18s %10s %10s %10s %12s %10s %12s %8s\n",
+		"policy", "delivered", "backlog", "loss rate", "mean delay", "p95 delay", "goodput/slot", "drift")
+	for _, pol := range []fadingrls.TrafficPolicy{"backlog", "maxqueue", "maxweight"} {
+		eng, err := fadingrls.NewTrafficEngine(prep, fadingrls.TrafficConfig{
+			Slots:    400,
+			Arrivals: fadingrls.BernoulliArrivals{P: 0.08},
+			Policy:   pol,
+			Seed:     seed,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := eng.Run(context.Background())
 		p95 := 0.0
 		if len(res.DelaySamples) > 0 {
 			p95 = fadingrls.Quantile(res.DelaySamples, 0.95)
 		}
-		fmt.Printf("%-18s %10d %10d %9.2f%% %12.1f %10.1f %12.2f\n",
-			algo.Name(), res.Delivered, res.Backlog, 100*res.LossRate(),
-			res.Delay.Mean(), p95, res.PerSlotDelivered.Mean())
+		fmt.Printf("%-18s %10d %10d %9.2f%% %12.1f %10.1f %12.2f %8.3f\n",
+			res.Policy, res.Delivered, res.Backlog, 100*res.LossRate(),
+			res.Delay.Mean(), p95, res.PerSlotDelivered.Mean(), res.Drift)
 	}
 
 	// Complete scheduling: how many slots to drain every link once?

@@ -54,6 +54,12 @@ func RunStalenessTable(opts ExperimentOptions) (*ResultTable, error) {
 	return experiment.StalenessTable(opts)
 }
 
+// RunStabilityTable sweeps backlog drift versus offered load for each
+// traffic-engine policy (Table I: the stability region).
+func RunStabilityTable(opts ExperimentOptions) (*ResultTable, error) {
+	return experiment.StabilityTable(opts)
+}
+
 // RunDiversityTable probes the O(g(L)) sensitivity with log-uniform
 // link lengths over a growing octave span (Table H).
 func RunDiversityTable(opts ExperimentOptions) (*ResultTable, error) {

@@ -5,32 +5,49 @@ package fadingrls
 // the traffic/queueing simulator, and the schedule repair operator.
 
 import (
+	"context"
+
 	"repro/internal/aggregation"
 	"repro/internal/dlsproto"
 	"repro/internal/mobility"
-	"repro/internal/multislot"
 	"repro/internal/sched"
-	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 type (
 	// MultiSlotPlan is a complete schedule covering every schedulable
 	// link across consecutive slots.
-	MultiSlotPlan = multislot.Plan
-	// TrafficConfig drives the discrete-time traffic simulator.
-	TrafficConfig = simnet.Config
-	// TrafficResult summarizes a traffic simulation (goodput, delay,
-	// losses, backlog).
-	TrafficResult = simnet.Result
+	MultiSlotPlan = traffic.Plan
+	// TrafficConfig drives the multi-slot traffic engine (horizon,
+	// arrival process, queue policy, diagnostics).
+	TrafficConfig = traffic.Config
+	// TrafficResult summarizes a traffic simulation (goodput, delay
+	// quantiles, losses, backlog, drift).
+	TrafficResult = traffic.Result
+	// TrafficEngine is the slot-by-slot simulation engine layered on a
+	// Prepared solve handle.
+	TrafficEngine = traffic.Engine
+	// TrafficPolicy selects the per-slot scheduling rule (backlog,
+	// maxqueue, maxweight).
+	TrafficPolicy = traffic.Policy
+
+	// BernoulliArrivals delivers ≤1 packet per link per slot with
+	// probability P.
+	BernoulliArrivals = traffic.Bernoulli
+	// PoissonArrivals delivers Poisson batches with mean Lambda per
+	// link per slot.
+	PoissonArrivals = traffic.Poisson
+	// TraceArrivals replays recorded per-slot arrival counts.
+	TraceArrivals = traffic.Trace
 )
 
 // BuildMultiSlotPlan schedules ALL links in consecutive slots by
 // repeatedly applying the one-slot algorithm to the residual links
-// (§VII future work; see internal/multislot for the guarantee
+// (§VII future work; see internal/traffic for the guarantee
 // discussion).
 func BuildMultiSlotPlan(pr *Problem, algo Algorithm) (MultiSlotPlan, error) {
-	return multislot.Build(pr, algo)
+	return traffic.BuildPlan(pr, algo)
 }
 
 // ValidateMultiSlotPlan independently re-checks a plan: every slot
@@ -39,10 +56,24 @@ func ValidateMultiSlotPlan(pr *Problem, p MultiSlotPlan) error {
 	return p.Validate(pr)
 }
 
+// NewTrafficEngine builds a traffic engine over an existing Prepared
+// handle, reusing its interference field and scratch pool across the
+// whole run.
+func NewTrafficEngine(pp *Prepared, cfg TrafficConfig) (*TrafficEngine, error) {
+	return traffic.New(pp, cfg)
+}
+
 // RunTraffic simulates queued packet traffic over the instance with a
-// per-slot scheduler and live Rayleigh fading.
+// policy-selected per-slot solve and live Rayleigh fading. It builds a
+// one-off Prepared handle; callers running many configurations on the
+// same instance should build one with NewPrepared and use
+// NewTrafficEngine.
 func RunTraffic(pr *Problem, cfg TrafficConfig) (TrafficResult, error) {
-	return simnet.Run(pr, cfg)
+	eng, err := traffic.New(sched.NewPrepared(pr), cfg)
+	if err != nil {
+		return TrafficResult{}, err
+	}
+	return eng.Run(context.Background()), nil
 }
 
 // Quantile returns the q-quantile of a sample (type-7 interpolation);

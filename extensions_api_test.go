@@ -2,6 +2,7 @@ package fadingrls_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	fadingrls "repro"
@@ -41,7 +42,7 @@ func TestRunTrafficThroughAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, err := fadingrls.RunTraffic(pr, fadingrls.TrafficConfig{
-		Slots: 120, ArrivalProb: 0.05, Scheduler: fadingrls.RLE{}, Seed: 9,
+		Slots: 120, Arrivals: fadingrls.BernoulliArrivals{P: 0.05}, Seed: 9,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -51,6 +52,19 @@ func TestRunTrafficThroughAPI(t *testing.T) {
 	}
 	if res.Delivered+res.Dropped+res.Backlog != res.Arrived {
 		t.Error("conservation violated through API")
+	}
+	// Weighted policy through the engine path on the same instance.
+	prep := fadingrls.NewPrepared(pr)
+	eng, err := fadingrls.NewTrafficEngine(prep, fadingrls.TrafficConfig{
+		Slots: 60, Arrivals: fadingrls.PoissonArrivals{Lambda: 0.05},
+		Policy: "maxqueue", Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres := eng.Run(context.Background())
+	if wres.Policy != "maxqueue" || wres.Slots != 60 {
+		t.Errorf("weighted run: policy=%q slots=%d", wres.Policy, wres.Slots)
 	}
 }
 

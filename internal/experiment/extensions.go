@@ -1,16 +1,16 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
 	"repro/internal/mobility"
-	"repro/internal/multislot"
 	"repro/internal/network"
 	"repro/internal/radio"
 	"repro/internal/sched"
-	"repro/internal/simnet"
+	"repro/internal/traffic"
 )
 
 // MultislotTable measures the complete-scheduling extension (paper §VII
@@ -37,7 +37,7 @@ func MultislotTable(opts Options) (*Table, error) {
 			return err
 		}
 		for ai, a := range algos {
-			plan, err := multislot.Build(pr, a)
+			plan, err := traffic.BuildPlan(pr, a)
 			if err != nil {
 				return err
 			}
@@ -50,16 +50,20 @@ func MultislotTable(opts Options) (*Table, error) {
 	})
 }
 
+// trafficPolicies are the engine's queue-aware slot policies, in
+// series order for the traffic tables.
+var trafficPolicies = []traffic.Policy{traffic.PolicyBacklog, traffic.PolicyMaxQueue, traffic.PolicyMaxWeight}
+
 // TrafficTable measures system-level goodput under queued Bernoulli
 // traffic with live fading: delivered packets per slot for each
-// scheduler at a fixed load.
+// engine policy at a fixed load. One prepared field per instance
+// serves all policies.
 func TrafficTable(opts Options) (*Table, error) {
 	opts = opts.withDefaults()
 	loads := []float64{0.02, 0.05, 0.1, 0.2}
-	algos := []sched.Algorithm{sched.RLE{}, sched.LDP{}, sched.Greedy{}, sched.ApproxDiversity{}}
-	names := make([]string, len(algos))
-	for i, a := range algos {
-		names[i] = a.Name()
+	names := make([]string, len(trafficPolicies))
+	for i, p := range trafficPolicies {
+		names[i] = string(p)
 	}
 	table := NewTable(
 		"Table F: traffic goodput vs offered load (N=120, 300 slots, alpha=3)",
@@ -69,21 +73,65 @@ func TrafficTable(opts Options) (*Table, error) {
 		if err != nil {
 			return err
 		}
-		pr, err := sched.NewProblem(ls, radio.DefaultParams())
+		prep, err := sched.Prepare(ls, radio.DefaultParams())
 		if err != nil {
 			return err
 		}
-		for ai, a := range algos {
-			res, err := simnet.Run(pr, simnet.Config{
-				Slots:       300,
-				ArrivalProb: loads[xi],
-				Scheduler:   a,
+		for pi, pol := range trafficPolicies {
+			eng, err := traffic.New(prep, traffic.Config{
+				Slots:    300,
+				Arrivals: traffic.Bernoulli{P: loads[xi]},
+				Policy:   pol,
+				Seed:     opts.Seed ^ pairIndex(xi, rep),
+			})
+			if err != nil {
+				return err
+			}
+			res := eng.Run(context.Background())
+			add(names[pi], res.PerSlotDelivered.Mean())
+		}
+		return nil
+	})
+}
+
+// StabilityTable sweeps the stability region (paper-adjacent:
+// Ásgeirsson/Halldórsson/Mitra's queue-stability semantics): backlog
+// drift in packets/slot versus offered Bernoulli load, for the
+// unweighted backlog policy against the queue-length-weighted
+// policies. Drift ≈ 0 means the queues are stable at that load; the λ
+// where each curve lifts off is that policy's stability boundary.
+func StabilityTable(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4}
+	names := make([]string, len(trafficPolicies))
+	for i, p := range trafficPolicies {
+		names[i] = string(p)
+	}
+	table := NewTable(
+		"Table I: backlog drift vs offered load (stability region, N=120, 400 slots, alpha=3)",
+		"arrival prob", "backlog drift (packets/slot)", loads, names)
+	return runCustom(table, loads, opts, func(xi, rep int, add func(series string, y float64)) error {
+		ls, err := network.Generate(network.PaperConfig(120), opts.Seed, pairIndex(xi, rep))
+		if err != nil {
+			return err
+		}
+		prep, err := sched.Prepare(ls, radio.DefaultParams())
+		if err != nil {
+			return err
+		}
+		for pi, pol := range trafficPolicies {
+			eng, err := traffic.New(prep, traffic.Config{
+				Slots:       400,
+				Arrivals:    traffic.Bernoulli{P: loads[xi]},
+				Policy:      pol,
+				DriftWindow: 200,
 				Seed:        opts.Seed ^ pairIndex(xi, rep),
 			})
 			if err != nil {
 				return err
 			}
-			add(names[ai], res.PerSlotDelivered.Mean())
+			res := eng.Run(context.Background())
+			add(names[pi], res.Drift)
 		}
 		return nil
 	})

@@ -142,6 +142,34 @@ func TestStreamSeedSeparation(t *testing.T) {
 	}
 }
 
+func TestStreamIntoMatchesStream(t *testing.T) {
+	var dst Source
+	f := func(seed, idx uint64) bool {
+		StreamInto(&dst, seed, "mc", idx)
+		want := Stream(seed, "mc", idx)
+		for i := 0; i < 16; i++ {
+			if dst.Uint64() != want.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamIntoZeroAlloc(t *testing.T) {
+	var dst Source
+	allocs := testing.AllocsPerRun(100, func() {
+		StreamInto(&dst, 7, "slot-channel", 42)
+		sinkUint = dst.Uint64()
+	})
+	if allocs != 0 {
+		t.Errorf("StreamInto allocates %v per call, want 0", allocs)
+	}
+}
+
 func TestExpMeanAndCDF(t *testing.T) {
 	s := New(11)
 	const n = 300000

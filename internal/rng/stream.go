@@ -11,6 +11,17 @@ package rng
 // (seed, label, index) — the property that makes figures reproducible
 // under any parallel schedule.
 func Stream(seed uint64, label string, index uint64) *Source {
+	var src Source
+	StreamInto(&src, seed, label, index)
+	return &src
+}
+
+// StreamInto reseeds dst in place with the stream state Stream would
+// return for the same (seed, label, index), without allocating. Hot
+// loops that derive a fresh stream per step (one fading draw per slot,
+// say) reuse one Source value instead of allocating a new one each
+// time.
+func StreamInto(dst *Source, seed uint64, label string, index uint64) {
 	mix := seed
 	h := hashLabel(label)
 	// Three absorption rounds interleaving the label hash and index so
@@ -20,7 +31,5 @@ func Stream(seed uint64, label string, index uint64) *Source {
 	mix ^= k
 	_ = splitMix64(&mix)
 	mix ^= index * 0x2545f4914f6cdd1d
-	var src Source
-	src.reseed(mix)
-	return &src
+	dst.reseed(mix)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/obs"
@@ -31,15 +32,70 @@ func (g Greedy) ScheduleTraced(pr *Problem, tr *obs.Tracer) Schedule {
 // points: a fresh Scratch reproduces the historical allocation
 // profile, a pooled one (via Prepared) makes the loop allocation-free.
 func (g Greedy) scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst []int) Schedule {
+	return g.scheduleRestricted(pr, scr, Selection{}, tr, dst)
+}
+
+// Selection restricts and re-orders a greedy solve without rebuilding
+// the problem. Interference factors and noise terms depend only on
+// link pairs and geometry, so masking candidates on the full prepared
+// field is exactly equivalent to solving a rebuilt sub-instance over
+// the selected links — minus the O(n²) field rebuild.
+type Selection struct {
+	// Mask, when non-nil (length n), limits the candidate links to
+	// those with Mask[i] true. Nil admits every link.
+	Mask []bool
+	// Weights, when non-nil (length n), overrides the pick order:
+	// descending weight, ties by descending rate, then by index. Links
+	// with weight <= 0 are excluded — a queue-length weighting thus
+	// doubles as a backlog mask. Nil keeps the default greedy order
+	// (descending rate, ties by ascending length).
+	Weights []float64
+}
+
+func (sel Selection) validate(n int) error {
+	if sel.Mask != nil && len(sel.Mask) != n {
+		return fmt.Errorf("sched: selection mask length %d != n %d", len(sel.Mask), n)
+	}
+	if sel.Weights != nil && len(sel.Weights) != n {
+		return fmt.Errorf("sched: selection weights length %d != n %d", len(sel.Weights), n)
+	}
+	return nil
+}
+
+// admits reports whether link i participates in the solve.
+func (sel Selection) admits(i int) bool {
+	if sel.Mask != nil && !sel.Mask[i] {
+		return false
+	}
+	if sel.Weights != nil && sel.Weights[i] <= 0 {
+		return false
+	}
+	return true
+}
+
+// scheduleRestricted is scheduleScratch generalized over a Selection:
+// the zero Selection reproduces plain greedy bit-for-bit (same sort
+// keys, same insertion loop). Because a stable sort restricted to a
+// subset equals the stable sort of that subset, masking here matches
+// legacy sub-problem solves exactly.
+func (g Greedy) scheduleRestricted(pr *Problem, scr *Scratch, sel Selection, tr *obs.Tracer, dst []int) Schedule {
 	n := pr.N()
 	// Pick order: descending rate, ties by ascending length, then by
-	// index (sort.Stable). Keys are negated rates so the shared
-	// ascending two-key sorter realizes the descending-rate order.
+	// index (sort.Stable). Keys are negated so the shared ascending
+	// two-key sorter realizes the descending order. With weights the
+	// primary key is the weight and rate breaks ties.
 	sp := tr.StartPhase("sort")
 	ps := scr.pickSorterBufs(n, true)
-	for i := 0; i < n; i++ {
-		ps.k1[i] = -pr.Links.Rate(i)
-		ps.k2[i] = pr.Links.Length(i)
+	if sel.Weights == nil {
+		for i := 0; i < n; i++ {
+			ps.k1[i] = -pr.Links.Rate(i)
+			ps.k2[i] = pr.Links.Length(i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ps.k1[i] = -sel.Weights[i]
+			ps.k2[i] = -pr.Links.Rate(i)
+		}
 	}
 	sort.Stable(ps)
 	sp.End()
@@ -52,6 +108,9 @@ func (g Greedy) scheduleScratch(pr *Problem, scr *Scratch, tr *obs.Tracer, dst [
 	active := scr.activeBuf(n)
 	rejected := 0
 	for _, i := range ps.order {
+		if !sel.admits(i) {
+			continue
+		}
 		// Candidate's own budget with the current set (Informed applies
 		// the same rounding slack as the Verify cross-check).
 		if !pr.Params.Informed(acc.Load(i)) {

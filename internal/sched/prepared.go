@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mathx"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -113,6 +114,29 @@ func (pp *Prepared) ScheduleInto(ctx context.Context, a Algorithm, dst []int) (S
 	scr := pp.getScratch()
 	defer pp.putScratch(scr)
 	return scheduleWith(ctx, a, pp.pr, scr, dst)
+}
+
+// ScheduleWeightedInto runs the selection-aware greedy pass on the
+// prepared problem: sel.Mask restricts the candidate links, and
+// sel.Weights (queue lengths, say) overrides the pick order so
+// longest-queue-first is exact rather than a post-hoc sort. The zero
+// Selection reproduces Greedy bit-for-bit. Like ScheduleInto it writes
+// the active set into dst[:0] and allocates nothing in steady state;
+// it is the per-slot inner loop of the traffic engine.
+func (pp *Prepared) ScheduleWeightedInto(ctx context.Context, sel Selection, dst []int) (Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return Schedule{}, err
+	}
+	if err := sel.validate(pp.pr.N()); err != nil {
+		return Schedule{}, err
+	}
+	scr := pp.getScratch()
+	defer pp.putScratch(scr)
+	s := Greedy{}.scheduleRestricted(pp.pr, scr, sel, obs.TracerFrom(ctx), dst)
+	if err := ctx.Err(); err != nil {
+		return Schedule{}, err
+	}
+	return s, nil
 }
 
 // SolveContext runs a registered algorithm by name on the prepared

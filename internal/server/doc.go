@@ -3,7 +3,10 @@
 // link set plus model parameters, runs any registered algorithm
 // through the sched registry under a per-request deadline, optionally
 // Monte-Carlo-validates the schedule, and returns the activation set
-// with per-link success probabilities.
+// with per-link success probabilities. POST /v1/traffic drives the
+// internal/traffic engine over the same prepared-field cache: queued
+// arrivals, a per-slot queue-aware solve, and delay/drift diagnostics,
+// with a request deadline truncating the run rather than failing it.
 //
 // The serving pipeline is:
 //

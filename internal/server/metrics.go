@@ -158,6 +158,17 @@ func (m *Metrics) SolveDone(algorithm string) {
 		obs.Label{Key: "algorithm", Value: algorithm}).Inc()
 }
 
+// TrafficDone counts a completed /v1/traffic simulation under its
+// policy label; truncated runs get their own counter so operators see
+// deadline pressure.
+func (m *Metrics) TrafficDone(policy string, truncated bool) {
+	m.reg.Counter("schedd_traffic_runs_total", "Completed traffic simulations by policy.",
+		obs.Label{Key: "policy", Value: policy}).Inc()
+	if truncated {
+		m.reg.Counter("schedd_traffic_truncated_total", "Traffic simulations cut off by their deadline.").Inc()
+	}
+}
+
 // CacheHit / CacheMiss feed the hit-rate gauge.
 func (m *Metrics) CacheHit()  { m.cacheHits.Inc() }
 func (m *Metrics) CacheMiss() { m.cacheMiss.Inc() }

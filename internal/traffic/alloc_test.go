@@ -1,0 +1,48 @@
+package traffic
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineSlotZeroAllocs is the steady-state allocation gate
+// (mirrored in scripts/check.sh): once the queues and scratch are
+// warm, one engine slot — arrivals, weighted prepared solve, fading
+// draw, delivery accounting, diagnostics — must not allocate at
+// n ≥ 1000. Bounded queues pin the ring buffers; TraceWriter and
+// Metrics stay nil (both are documented to cost allocations/atomics).
+func TestEngineSlotZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under -race")
+	}
+	pp := paperPrepared(t, 1000, 51)
+	eng, err := New(pp, Config{
+		Slots:    1 << 30,
+		Arrivals: Bernoulli{P: 0.05},
+		QueueCap: 4,
+		Policy:   PolicyMaxQueue,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm: fill queues to their caps, grow every ring, populate the
+	// scratch pool and the reservoir.
+	for i := 0; i < 300; i++ {
+		if err := eng.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := eng.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state slot allocates %v per step, want 0", allocs)
+	}
+	if eng.Slot() < 300 {
+		t.Fatal("engine did not advance")
+	}
+}

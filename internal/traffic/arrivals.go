@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Arrivals is a pluggable per-link packet arrival process. An
+// implementation draws each slot's arrival counts from the engine's
+// dedicated arrivals stream, so a given (seed, process) pair yields
+// the same packet sequence on every run and under any policy.
+//
+// Implementations live in this package (the draw method is
+// unexported): the engine must know each process's exact stream
+// consumption to keep seeds reproducible.
+type Arrivals interface {
+	// Name identifies the process ("bernoulli", "poisson", "trace").
+	Name() string
+	// Validate reports a *ConfigError when parameters are out of
+	// domain.
+	Validate() error
+	// draw fills counts[i] with the number of packets arriving on
+	// link i during the given slot, consuming src deterministically.
+	draw(src *rng.Source, slot int, counts []int)
+}
+
+// Bernoulli delivers at most one packet per link per slot, each with
+// probability P. It consumes exactly one uniform variate per link per
+// slot — the legacy simnet arrival discipline, seed-compatible with
+// it.
+type Bernoulli struct {
+	// P is the per-link, per-slot arrival probability in [0, 1].
+	P float64
+}
+
+// Name implements Arrivals.
+func (Bernoulli) Name() string { return "bernoulli" }
+
+// Validate implements Arrivals.
+func (b Bernoulli) Validate() error {
+	if math.IsNaN(b.P) || b.P < 0 || b.P > 1 {
+		return &ConfigError{"Arrivals.P", fmt.Sprintf("probability %v outside [0,1]", b.P)}
+	}
+	return nil
+}
+
+func (b Bernoulli) draw(src *rng.Source, _ int, counts []int) {
+	for i := range counts {
+		if src.Float64() < b.P {
+			counts[i] = 1
+		} else {
+			counts[i] = 0
+		}
+	}
+}
+
+// Poisson delivers an independent Poisson-distributed batch of packets
+// per link per slot with mean Lambda, via Knuth's product-of-uniforms
+// method (exact, no table).
+type Poisson struct {
+	// Lambda is the mean packets per link per slot, in [0, maxLambda].
+	Lambda float64
+}
+
+// maxLambda bounds the Poisson mean: Knuth's method draws O(λ)
+// variates per link per slot, and exp(-λ) underflows long before this.
+const maxLambda = 64
+
+// Name implements Arrivals.
+func (Poisson) Name() string { return "poisson" }
+
+// Validate implements Arrivals.
+func (p Poisson) Validate() error {
+	if math.IsNaN(p.Lambda) || p.Lambda < 0 || p.Lambda > maxLambda {
+		return &ConfigError{"Arrivals.Lambda", fmt.Sprintf("mean %v outside [0,%d]", p.Lambda, maxLambda)}
+	}
+	return nil
+}
+
+func (p Poisson) draw(src *rng.Source, _ int, counts []int) {
+	if p.Lambda == 0 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		return
+	}
+	limit := math.Exp(-p.Lambda)
+	for i := range counts {
+		k := 0
+		prod := src.Float64Open()
+		for prod > limit {
+			k++
+			prod *= src.Float64Open()
+		}
+		counts[i] = k
+	}
+}
+
+// Trace replays recorded arrival counts: slot s delivers
+// Counts[s % len(Counts)][i] packets on link i. Each row must have
+// exactly one entry per link (checked when the engine is built, where
+// n is known). It consumes no randomness.
+type Trace struct {
+	Counts [][]int
+}
+
+// Name implements Arrivals.
+func (Trace) Name() string { return "trace" }
+
+// Validate implements Arrivals.
+func (t Trace) Validate() error {
+	if len(t.Counts) == 0 {
+		return &ConfigError{"Arrivals.Counts", "empty trace"}
+	}
+	for s, row := range t.Counts {
+		for i, c := range row {
+			if c < 0 {
+				return &ConfigError{"Arrivals.Counts", fmt.Sprintf("negative count %d at slot %d link %d", c, s, i)}
+			}
+		}
+	}
+	return nil
+}
+
+// validateWidth checks every row against the instance size; called by
+// New, which knows n.
+func (t Trace) validateWidth(n int) error {
+	for s, row := range t.Counts {
+		if len(row) != n {
+			return &ConfigError{"Arrivals.Counts", fmt.Sprintf("slot %d has %d entries, instance has %d links", s, len(row), n)}
+		}
+	}
+	return nil
+}
+
+func (t Trace) draw(_ *rng.Source, slot int, counts []int) {
+	copy(counts, t.Counts[slot%len(t.Counts)])
+}

@@ -1,0 +1,160 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Policy selects how each slot's transmission set is chosen from the
+// backlogged links. All policies run the same feasibility-checked
+// greedy insertion (Corollary 3.1 budgets on the prepared field); they
+// differ only in which links are candidates and in what order they are
+// considered.
+type Policy string
+
+const (
+	// PolicyBacklog restricts the default greedy pick order
+	// (descending rate) to backlogged links — the legacy simnet
+	// behavior, seed-compatible with it.
+	PolicyBacklog Policy = "backlog"
+	// PolicyMaxQueue weights links by queue length: exact
+	// longest-queue-first, ties broken by rate.
+	PolicyMaxQueue Policy = "maxqueue"
+	// PolicyMaxWeight weights links by queue length × rate, the
+	// max-weight-style selection rule.
+	PolicyMaxWeight Policy = "maxweight"
+)
+
+func (p Policy) valid() bool {
+	switch p {
+	case PolicyBacklog, PolicyMaxQueue, PolicyMaxWeight:
+		return true
+	}
+	return false
+}
+
+// Policies lists the valid policy names.
+func Policies() []string {
+	return []string{string(PolicyBacklog), string(PolicyMaxQueue), string(PolicyMaxWeight)}
+}
+
+// ConfigError reports a traffic configuration field that failed
+// validation. All config-time rejections are of this type, so callers
+// can map them to a 400 rather than a 500.
+type ConfigError struct {
+	Field  string // the Config or Arrivals field at fault
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("traffic: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Config drives one traffic simulation.
+type Config struct {
+	// Slots is the simulated horizon (> 0).
+	Slots int
+	// Arrivals is the per-link packet arrival process (required).
+	Arrivals Arrivals
+	// QueueCap bounds each link's queue; arrivals beyond it are
+	// dropped (counted in Result.Dropped). QueueCap == 0 means
+	// unbounded — there is no sentinel for "capacity zero", a link
+	// that can never hold a packet. Negative caps are rejected.
+	QueueCap int
+	// Policy selects the per-slot scheduling rule; empty means
+	// PolicyBacklog.
+	Policy Policy
+	// Seed drives arrivals, fading draws, and the delay reservoir.
+	Seed uint64
+	// NoFading disables the channel draw: every scheduled
+	// transmission succeeds. Isolates queueing effects from channel
+	// effects in ablations.
+	NoFading bool
+	// InitialBacklog preloads every queue with this many packets
+	// (arrival slot 0, counted in Result.Arrived). With zero-rate
+	// arrivals this turns the run into a drain-to-empty experiment.
+	InitialBacklog int
+	// DriftWindow is the sliding window (in slots) for the backlog
+	// drift estimate; 0 means 128.
+	DriftWindow int
+	// ReservoirSize bounds the delay reservoir sample; 0 means 1024.
+	ReservoirSize int
+	// TrajectoryPoints caps the recorded backlog trajectory; the
+	// engine thins by stride doubling, so memory stays O(cap) at any
+	// horizon. 0 means 256.
+	TrajectoryPoints int
+	// Metrics, when non-nil, receives engine counters, the backlog
+	// gauge, and the drift/delay histograms. Registration is
+	// idempotent, so engines sharing a registry accumulate into the
+	// same series.
+	Metrics *obs.Registry
+	// TraceWriter, when non-nil, receives one line per slot — the
+	// deterministic engine trace the determinism tests compare
+	// byte-for-byte. Enabling it costs per-slot allocations.
+	TraceWriter io.Writer
+}
+
+const (
+	defaultDriftWindow      = 128
+	defaultReservoirSize    = 1024
+	defaultTrajectoryPoints = 256
+)
+
+// Validate checks the configuration, returning a *ConfigError naming
+// the offending field.
+func (c Config) Validate() error {
+	switch {
+	case c.Slots <= 0:
+		return &ConfigError{"Slots", fmt.Sprintf("horizon %d, need > 0", c.Slots)}
+	case c.Arrivals == nil:
+		return &ConfigError{"Arrivals", "nil arrival process"}
+	case c.QueueCap < 0:
+		return &ConfigError{"QueueCap", fmt.Sprintf("capacity %d, need ≥ 0 (0 = unbounded)", c.QueueCap)}
+	case c.InitialBacklog < 0:
+		return &ConfigError{"InitialBacklog", fmt.Sprintf("%d packets, need ≥ 0", c.InitialBacklog)}
+	case c.DriftWindow < 0:
+		return &ConfigError{"DriftWindow", fmt.Sprintf("%d slots, need ≥ 0", c.DriftWindow)}
+	case c.ReservoirSize < 0:
+		return &ConfigError{"ReservoirSize", fmt.Sprintf("%d samples, need ≥ 0", c.ReservoirSize)}
+	case c.TrajectoryPoints < 0:
+		return &ConfigError{"TrajectoryPoints", fmt.Sprintf("%d points, need ≥ 0", c.TrajectoryPoints)}
+	case !c.policy().valid():
+		return &ConfigError{"Policy", fmt.Sprintf("unknown policy %q (have %v)", c.Policy, Policies())}
+	}
+	return c.Arrivals.Validate()
+}
+
+func (c Config) policy() Policy {
+	if c.Policy == "" {
+		return PolicyBacklog
+	}
+	return c.Policy
+}
+
+func (c Config) driftWindow() int {
+	if c.DriftWindow == 0 {
+		return defaultDriftWindow
+	}
+	return c.DriftWindow
+}
+
+func (c Config) reservoirSize() int {
+	if c.ReservoirSize == 0 {
+		return defaultReservoirSize
+	}
+	return c.ReservoirSize
+}
+
+func (c Config) trajectoryPoints() int {
+	if c.TrajectoryPoints == 0 {
+		return defaultTrajectoryPoints
+	}
+	// Stride-doubling compaction halves the buffer in place, so it
+	// needs at least two points to make progress.
+	if c.TrajectoryPoints < 2 {
+		return 2
+	}
+	return c.TrajectoryPoints
+}

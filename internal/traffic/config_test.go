@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidateTable(t *testing.T) {
+	ok := Config{Slots: 10, Arrivals: Bernoulli{P: 0.1}}
+	cases := []struct {
+		name  string
+		mut   func(*Config)
+		field string // "" = accept
+	}{
+		{"valid", func(c *Config) {}, ""},
+		{"unbounded queue is valid", func(c *Config) { c.QueueCap = 0 }, ""},
+		{"bounded queue is valid", func(c *Config) { c.QueueCap = 5 }, ""},
+		{"named policy is valid", func(c *Config) { c.Policy = PolicyMaxWeight }, ""},
+		{"zero slots", func(c *Config) { c.Slots = 0 }, "Slots"},
+		{"negative slots", func(c *Config) { c.Slots = -5 }, "Slots"},
+		{"nil arrivals", func(c *Config) { c.Arrivals = nil }, "Arrivals"},
+		{"negative queue cap", func(c *Config) { c.QueueCap = -1 }, "QueueCap"},
+		{"negative initial backlog", func(c *Config) { c.InitialBacklog = -1 }, "InitialBacklog"},
+		{"negative drift window", func(c *Config) { c.DriftWindow = -2 }, "DriftWindow"},
+		{"negative reservoir", func(c *Config) { c.ReservoirSize = -1 }, "ReservoirSize"},
+		{"negative trajectory cap", func(c *Config) { c.TrajectoryPoints = -1 }, "TrajectoryPoints"},
+		{"unknown policy", func(c *Config) { c.Policy = "fifo" }, "Policy"},
+		{"negative bernoulli rate", func(c *Config) { c.Arrivals = Bernoulli{P: -0.1} }, "Arrivals.P"},
+		{"bernoulli rate above one", func(c *Config) { c.Arrivals = Bernoulli{P: 1.1} }, "Arrivals.P"},
+		{"negative poisson mean", func(c *Config) { c.Arrivals = Poisson{Lambda: -1} }, "Arrivals.Lambda"},
+		{"huge poisson mean", func(c *Config) { c.Arrivals = Poisson{Lambda: 1e6} }, "Arrivals.Lambda"},
+		{"empty trace", func(c *Config) { c.Arrivals = Trace{} }, "Arrivals.Counts"},
+		{"negative trace count", func(c *Config) { c.Arrivals = Trace{Counts: [][]int{{1, -2}}} }, "Arrivals.Counts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ok
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("want *ConfigError for %s, got %v", tc.field, err)
+			}
+			if ce.Field != tc.field {
+				t.Errorf("blamed field %q, want %q (err: %v)", ce.Field, tc.field, ce)
+			}
+			if !strings.Contains(ce.Error(), "traffic: invalid") {
+				t.Errorf("error %q missing package prefix", ce.Error())
+			}
+		})
+	}
+}
+
+func TestQueueCapZeroMeansUnbounded(t *testing.T) {
+	pp := paperPrepared(t, 10, 41)
+	// Saturating arrivals with QueueCap 0 must never drop.
+	res := mustRun(t, pp, Config{Slots: 30, Arrivals: Bernoulli{P: 1}, QueueCap: 0, Seed: 15})
+	if res.Dropped != 0 {
+		t.Errorf("unbounded queues dropped %d packets", res.Dropped)
+	}
+	if res.Arrived != 300 {
+		t.Errorf("arrived %d, want 300", res.Arrived)
+	}
+}
+
+func TestInitialBacklogExceedingCapRejected(t *testing.T) {
+	pp := paperPrepared(t, 10, 41)
+	_, err := New(pp, Config{Slots: 10, Arrivals: Bernoulli{P: 0}, QueueCap: 2, InitialBacklog: 5})
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "InitialBacklog" {
+		t.Fatalf("oversized initial backlog not rejected: %v", err)
+	}
+}
+
+func TestPoliciesListsAllValid(t *testing.T) {
+	for _, name := range Policies() {
+		if !Policy(name).valid() {
+			t.Errorf("Policies() lists invalid policy %q", name)
+		}
+	}
+	if len(Policies()) != 3 {
+		t.Errorf("expected 3 policies, got %v", Policies())
+	}
+}

@@ -1,0 +1,27 @@
+// Package traffic is the multi-slot scheduling engine: stochastic
+// packet arrivals feeding per-link FIFO queues, one fading-aware
+// feasibility solve per slot through a long-lived sched.Prepared
+// handle, and stability diagnostics (backlog trajectory, drift over a
+// sliding window, delay quantiles from a bounded reservoir).
+//
+// It subsumes the retired simnet package (arrivals/queues/fading
+// draws) and absorbs the retired multislot package's drain-to-empty
+// planner (BuildPlan). The per-slot solve is the selection-aware
+// greedy pass sched.Prepared.ScheduleWeightedInto, so the steady-state
+// slot loop allocates nothing: the interference field is built once
+// for the whole run and every slot reuses pooled scratch plus
+// engine-owned buffers.
+//
+// Three queue-aware policies are provided. PolicyBacklog restricts the
+// default greedy order to backlogged links — the legacy simnet
+// behavior, reproduced bit-for-bit under the same seed. PolicyMaxQueue
+// weights links by queue length, making longest-queue-first exact
+// rather than a post-hoc sort. PolicyMaxWeight weights by queue length
+// × rate, the max-weight-style rule from the wireless-stability
+// literature (Ásgeirsson/Halldórsson/Mitra).
+//
+// A drain-to-empty run is a special case: seed the queues with
+// Config.InitialBacklog and use Bernoulli{P: 0} arrivals. The
+// slot-exact planner form of that loop, covering every schedulable
+// link exactly once, remains available as BuildPlan.
+package traffic

@@ -1,4 +1,4 @@
-package multislot
+package traffic
 
 import (
 	"fmt"
@@ -7,8 +7,10 @@ import (
 	"repro/internal/sched"
 )
 
-// Plan is a complete schedule: a sequence of per-slot activation sets
-// that together cover every schedulable link exactly once.
+// Plan is a complete drain-to-empty schedule: a sequence of per-slot
+// activation sets that together cover every schedulable link exactly
+// once. It is the slot-exact planner form of a drain run (no
+// arrivals, no fading), absorbed from the retired multislot package.
 type Plan struct {
 	// Slots holds one feasible Schedule per time slot, in order. The
 	// Active indices refer to the ORIGINAL problem's links.
@@ -39,7 +41,7 @@ func (p Plan) Validate(pr *sched.Problem) error {
 	seen := make([]int, pr.N())
 	for k, s := range p.Slots {
 		if v := sched.Verify(pr, s); len(v) != 0 {
-			return fmt.Errorf("multislot: slot %d infeasible: %v", k, v[0])
+			return fmt.Errorf("traffic: plan slot %d infeasible: %v", k, v[0])
 		}
 		for _, i := range s.Active {
 			seen[i]++
@@ -48,33 +50,33 @@ func (p Plan) Validate(pr *sched.Problem) error {
 	unsched := make(map[int]bool, len(p.Unschedulable))
 	for _, i := range p.Unschedulable {
 		if pr.Params.Informed(pr.NoiseTerm(i)) {
-			return fmt.Errorf("multislot: link %d marked unschedulable but is feasible alone", i)
+			return fmt.Errorf("traffic: link %d marked unschedulable but is feasible alone", i)
 		}
 		if unsched[i] {
-			return fmt.Errorf("multislot: link %d listed unschedulable twice", i)
+			return fmt.Errorf("traffic: link %d listed unschedulable twice", i)
 		}
 		unsched[i] = true
 	}
 	for i, c := range seen {
 		switch {
 		case unsched[i] && c != 0:
-			return fmt.Errorf("multislot: unschedulable link %d appears in %d slots", i, c)
+			return fmt.Errorf("traffic: unschedulable link %d appears in %d slots", i, c)
 		case !unsched[i] && c > 1:
-			return fmt.Errorf("multislot: link %d scheduled %d times", i, c)
+			return fmt.Errorf("traffic: link %d scheduled %d times", i, c)
 		case !unsched[i] && c == 0:
-			return fmt.Errorf("multislot: link %d never scheduled", i)
+			return fmt.Errorf("traffic: link %d never scheduled", i)
 		}
 	}
 	return nil
 }
 
-// Build assembles a complete plan by repeatedly applying the one-slot
-// algorithm to the residual links. If a round schedules nothing while
-// schedulable links remain (a conservative algorithm can refuse a
-// residual configuration), the shortest remaining link is forced into
-// its own slot so the loop always progresses; forced slots are
-// singletons and therefore trivially feasible.
-func Build(pr *sched.Problem, algo sched.Algorithm) (Plan, error) {
+// BuildPlan assembles a complete plan by repeatedly applying the
+// one-slot algorithm to the residual links. If a round schedules
+// nothing while schedulable links remain (a conservative algorithm can
+// refuse a residual configuration), the shortest remaining link is
+// forced into its own slot so the loop always progresses; forced slots
+// are singletons and therefore trivially feasible.
+func BuildPlan(pr *sched.Problem, algo sched.Algorithm) (Plan, error) {
 	plan := Plan{Algorithm: algo.Name()}
 	remaining := make([]int, 0, pr.N())
 	for i := 0; i < pr.N(); i++ {
@@ -121,7 +123,7 @@ func subProblem(pr *sched.Problem, idxs []int) (*sched.Problem, []int, error) {
 	}
 	ls, err := network.NewLinkSet(links)
 	if err != nil {
-		return nil, nil, fmt.Errorf("multislot: residual instance invalid: %w", err)
+		return nil, nil, fmt.Errorf("traffic: residual instance invalid: %w", err)
 	}
 	sub, err := sched.NewProblem(ls, pr.Params)
 	if err != nil {

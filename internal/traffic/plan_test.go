@@ -1,4 +1,4 @@
-package multislot
+package traffic
 
 import (
 	"testing"
@@ -18,11 +18,11 @@ func paperProblem(t testing.TB, n int, seed uint64) *sched.Problem {
 	return sched.MustNewProblem(ls, radio.DefaultParams())
 }
 
-func TestBuildCoversEveryLinkOnce(t *testing.T) {
+func TestBuildPlanCoversEveryLinkOnce(t *testing.T) {
 	for _, algo := range []sched.Algorithm{sched.RLE{}, sched.LDP{}, sched.Greedy{}, sched.ApproxDiversity{}} {
 		for seed := uint64(1); seed <= 3; seed++ {
 			pr := paperProblem(t, 120, seed)
-			plan, err := Build(pr, algo)
+			plan, err := BuildPlan(pr, algo)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,15 +41,15 @@ func TestBuildCoversEveryLinkOnce(t *testing.T) {
 	}
 }
 
-func TestBuildSlotCountsOrdering(t *testing.T) {
+func TestBuildPlanSlotCountsOrdering(t *testing.T) {
 	// RLE packs more per slot than LDP, so it needs fewer slots; both
 	// need at least ⌈N/maxPack⌉ ≥ a handful and at most N slots.
 	pr := paperProblem(t, 150, 4)
-	rle, err := Build(pr, sched.RLE{})
+	rle, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ldp, err := Build(pr, sched.LDP{})
+	ldp, err := BuildPlan(pr, sched.LDP{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,13 +61,13 @@ func TestBuildSlotCountsOrdering(t *testing.T) {
 	}
 }
 
-func TestBuildDeterministic(t *testing.T) {
+func TestBuildPlanDeterministic(t *testing.T) {
 	pr := paperProblem(t, 80, 7)
-	a, err := Build(pr, sched.RLE{})
+	a, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Build(pr, sched.RLE{})
+	b, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,9 +81,9 @@ func TestBuildDeterministic(t *testing.T) {
 	}
 }
 
-func TestBuildEmptyInstance(t *testing.T) {
+func TestBuildPlanEmptyInstance(t *testing.T) {
 	pr := sched.MustNewProblem(network.MustNewLinkSet(nil), radio.DefaultParams())
-	plan, err := Build(pr, sched.RLE{})
+	plan, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,12 +95,12 @@ func TestBuildEmptyInstance(t *testing.T) {
 	}
 }
 
-func TestBuildSingleLink(t *testing.T) {
+func TestBuildPlanSingleLink(t *testing.T) {
 	ls := network.MustNewLinkSet([]network.Link{
 		{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 10, Y: 0}, Rate: 1},
 	})
 	pr := sched.MustNewProblem(ls, radio.DefaultParams())
-	plan, err := Build(pr, sched.LDP{})
+	plan, err := BuildPlan(pr, sched.LDP{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestBuildSingleLink(t *testing.T) {
 	}
 }
 
-func TestBuildNoiseDeadLinkReported(t *testing.T) {
+func TestBuildPlanNoiseDeadLinkReported(t *testing.T) {
 	p := radio.DefaultParams()
 	p.N0 = 2e-8
 	ls := network.MustNewLinkSet([]network.Link{
@@ -120,7 +120,7 @@ func TestBuildNoiseDeadLinkReported(t *testing.T) {
 		{Sender: geom.Point{X: 1e4, Y: 0}, Receiver: geom.Point{X: 1e4 + 100, Y: 0}, Rate: 1},
 	})
 	pr := sched.MustNewProblem(ls, p)
-	plan, err := Build(pr, sched.RLE{})
+	plan, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,9 +139,9 @@ type stubborn struct{}
 func (stubborn) Name() string                              { return "stubborn" }
 func (stubborn) Schedule(pr *sched.Problem) sched.Schedule { return sched.NewSchedule("stubborn", nil) }
 
-func TestBuildForcesProgress(t *testing.T) {
+func TestBuildPlanForcesProgress(t *testing.T) {
 	pr := paperProblem(t, 10, 1)
-	plan, err := Build(pr, stubborn{})
+	plan, err := BuildPlan(pr, stubborn{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,9 +162,9 @@ func TestBuildForcesProgress(t *testing.T) {
 	}
 }
 
-func TestValidateCatchesBadPlans(t *testing.T) {
+func TestPlanValidateCatchesBadPlans(t *testing.T) {
 	pr := paperProblem(t, 20, 2)
-	good, err := Build(pr, sched.RLE{})
+	good, err := BuildPlan(pr, sched.RLE{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +189,11 @@ func TestValidateCatchesBadPlans(t *testing.T) {
 	}
 }
 
-func BenchmarkBuildRLE200(b *testing.B) {
+func BenchmarkBuildPlanRLE200(b *testing.B) {
 	pr := paperProblem(b, 200, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plan, err := Build(pr, sched.RLE{})
+		plan, err := BuildPlan(pr, sched.RLE{})
 		if err != nil {
 			b.Fatal(err)
 		}

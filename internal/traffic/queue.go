@@ -1,0 +1,41 @@
+package traffic
+
+// fifo is a growable ring buffer of packet arrival slots. The legacy
+// simnet queues were plain slices advanced with q = q[1:], which leaks
+// the consumed prefix and reallocates forever; the ring reuses its
+// backing array, so a capped queue reaches a fixed footprint and the
+// steady-state slot loop never allocates.
+type fifo struct {
+	buf  []int
+	head int
+	n    int
+}
+
+func (q *fifo) len() int { return q.n }
+
+func (q *fifo) push(v int) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
+}
+
+func (q *fifo) pop() int {
+	if q.n == 0 {
+		panic("traffic: pop of empty queue")
+	}
+	v := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return v
+}
+
+func (q *fifo) grow() {
+	next := make([]int, max(4, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}

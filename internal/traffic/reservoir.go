@@ -1,0 +1,39 @@
+package traffic
+
+import "repro/internal/rng"
+
+// reservoir is a fixed-size uniform random sample over a stream
+// (Vitter's Algorithm R): after N ≥ size observations each one is
+// retained with probability size/N. It is the bounded replacement for
+// the legacy simnet behavior of retaining every delivered packet's
+// delay — O(size) memory at any horizon, deterministic under the
+// engine seed, and allocation-free after construction.
+type reservoir struct {
+	samples []float64
+	seen    int64
+	src     rng.Source
+}
+
+func newReservoir(size int, seed uint64) *reservoir {
+	r := &reservoir{samples: make([]float64, 0, size)}
+	rng.StreamInto(&r.src, seed, "traffic-reservoir", 0)
+	return r
+}
+
+func (r *reservoir) add(v float64) {
+	r.seen++
+	if len(r.samples) < cap(r.samples) {
+		r.samples = append(r.samples, v)
+		return
+	}
+	if cap(r.samples) == 0 {
+		return
+	}
+	if j := r.src.IntN(int(r.seen)); j < len(r.samples) {
+		r.samples[j] = v
+	}
+}
+
+// sample returns the current reservoir contents (engine-owned; callers
+// copy before exposing).
+func (r *reservoir) sample() []float64 { return r.samples }

@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// TrajectoryPoint is one sample of the backlog trajectory.
+type TrajectoryPoint struct {
+	// Slot is the slot index the sample was taken at (end of slot).
+	Slot int
+	// Backlog is the total queued packets across all links.
+	Backlog int64
+}
+
+// Result summarizes a traffic simulation.
+type Result struct {
+	// Policy and ArrivalProcess name the configuration that ran.
+	Policy         string
+	ArrivalProcess string
+	// Slots is the number of slots actually executed; Truncated
+	// reports whether the run stopped early because its context
+	// expired (Slots < the configured horizon).
+	Slots     int
+	Truncated bool
+	// Arrived, Delivered, Dropped count packets; FailedTx counts
+	// transmission attempts lost to fading (the packet stays queued).
+	Arrived, Delivered, Dropped, FailedTx int64
+	// Backlog is the number of packets still queued at the horizon.
+	Backlog int64
+	// PerLinkBacklog is each link's queue length at the horizon —
+	// the fairness view of Backlog (rate-greedy masking can starve
+	// low-rate links into one long queue that the total hides).
+	PerLinkBacklog []int
+	// Attempts counts scheduled transmissions (delivered + failed).
+	Attempts int64
+	// Delay summarizes per-delivered-packet delay in slots (arrival
+	// slot to delivery slot, inclusive of the transmission slot).
+	Delay stats.Summary
+	// DelaySamples is a bounded uniform reservoir sample of delivered
+	// delays (Config.ReservoirSize entries at most) — the input to
+	// DelayQuantile. Unlike the legacy simnet field of the same name
+	// it does NOT retain every delivery; memory is O(reservoir) at
+	// any horizon.
+	DelaySamples []float64
+	// PerSlotDelivered summarizes deliveries per slot (the goodput
+	// series).
+	PerSlotDelivered stats.Summary
+	// PerSlotBacklog summarizes the end-of-slot total backlog.
+	PerSlotBacklog stats.Summary
+	// Drift is the sliding-window backlog drift estimate in
+	// packets/slot: (backlog[t] − backlog[t−w]) / w over the last
+	// w = min(Config.DriftWindow, Slots−1) slots. Positive drift at
+	// the horizon indicates instability (queues still growing).
+	Drift float64
+	// Trajectory is the thinned backlog trajectory, at most
+	// Config.TrajectoryPoints samples evenly strided across the run.
+	Trajectory []TrajectoryPoint
+}
+
+// LossRate returns FailedTx / Attempts (0 when idle).
+func (r Result) LossRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.FailedTx) / float64(r.Attempts)
+}
+
+// DelayQuantile returns the q-quantile of the delay reservoir, or NaN
+// when nothing was delivered.
+func (r Result) DelayQuantile(q float64) float64 {
+	if len(r.DelaySamples) == 0 {
+		return math.NaN()
+	}
+	return stats.Quantile(r.DelaySamples, q)
+}

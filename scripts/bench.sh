@@ -1,12 +1,14 @@
 #!/bin/sh
-# bench.sh — run the PR 5 performance suite and emit a machine-readable
-# record (BENCH_PR5.json by default): ns/op, B/op, and allocs/op for
-# the figure-regeneration bench (Fig 5a), interference-field
-# construction, cold-build vs warm-prepared solves, and the schedd
-# end-to-end paths (cold / prepared-field / response-cache-warm /
-# batch).
+# bench.sh — run the repository performance suite and emit a
+# machine-readable record (BENCH_PR6.json by default): ns/op, B/op, and
+# allocs/op for the figure-regeneration bench (Fig 5a),
+# interference-field construction, cold-build vs warm-prepared solves,
+# the schedd end-to-end paths (cold / prepared-field /
+# response-cache-warm / batch), and the traffic engine (per-slot cost
+# plus the ≥1M-packet n=5000 throughput run with its packets/sec
+# metric).
 #
-#   scripts/bench.sh              full run, writes BENCH_PR5.json
+#   scripts/bench.sh              full run, writes BENCH_PR6.json
 #   scripts/bench.sh -quick       1-iteration smoke (check.sh uses this)
 #   scripts/bench.sh -o out.json  choose the output path
 #
@@ -16,7 +18,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR5.json
+out=BENCH_PR6.json
 benchtime=${BENCHTIME:-1s}
 quick=0
 while [ $# -gt 0 ]; do
@@ -56,11 +58,13 @@ run() { # run <package> <bench regex>
 if [ "$quick" = 1 ]; then
     run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
     run ./internal/server/ 'BenchmarkSolveBatch$'
+    run ./internal/traffic/ 'BenchmarkEngineStep$'
 else
     run . 'BenchmarkFig5a$'
     run . 'BenchmarkNewProblem$'
     run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
     run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$'
+    run ./internal/traffic/ 'BenchmarkEngineStep$|BenchmarkEngineThroughput$'
 fi
 
 # Parse `go test -bench` result lines into JSON. A line is
@@ -69,7 +73,7 @@ fi
 # b.ReportMetric units; each becomes a key with '/' spelled _per_.
 {
     printf '{\n'
-    printf '  "id": "BENCH_PR5",\n'
+    printf '  "id": "BENCH_PR6",\n'
     printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
     printf '  "benchtime": "%s",\n' "$benchtime"

@@ -44,10 +44,21 @@ echo "== prepared zero-alloc gate"
 # detector instruments allocations), so this is the run that counts.
 go test -run 'TestPreparedSolveZeroAllocs|TestPreparedConcurrent' -count=1 ./internal/sched/
 
+echo "== traffic engine race pass"
+# The traffic engine suite uncached under -race: the determinism,
+# differential-vs-legacy, and truncation tests all run here.
+go test -race -short -count=1 ./internal/traffic/
+
+echo "== traffic zero-alloc gate"
+# The steady-state 0 allocs/op contract on the n=1000 slot loop.
+# Skipped automatically under -race, so this non-race run is the one
+# that counts.
+go test -run TestEngineSlotZeroAllocs -count=1 ./internal/traffic/
+
 echo "== bench smoke"
-# One-iteration pass over the prepared/batch benchmarks proving the
-# JSON emitter works end to end; the full run is `make bench-json`.
-sh scripts/bench.sh -quick -o /tmp/bench_pr5_smoke.json
+# One-iteration pass over the prepared/batch/traffic benchmarks proving
+# the JSON emitter works end to end; the full run is `make bench-json`.
+sh scripts/bench.sh -quick -o /tmp/bench_smoke.json
 
 echo "== serve smoke"
 # Boot the daemon end to end: listen, solve one instance over HTTP,
