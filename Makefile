@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
+.PHONY: check test test-full bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -22,7 +22,13 @@ test-full:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
 
-## bench-json: the full performance suite → BENCH_PR6.json
+## bench-field: field-construction kernels at a converged budget —
+## dense vs sparse builds (n up to 5000) plus the log1p/pow micro-kernels
+bench-field:
+	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem$$' -benchtime 3s -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkLog1pPos$$|BenchmarkLog1pStdlib$$|BenchmarkHalfPow' -count=1 ./internal/mathx/
+
+## bench-json: the full performance suite → BENCH_PR7.json
 ## (Fig 5a, field build, cold vs warm-prepared solve, schedd
 ## end-to-end, traffic engine)
 bench-json:
@@ -53,9 +59,11 @@ metrics-smoke:
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracer' ./internal/obs/
 
-## fuzz: a short fuzzing pass over the sparse-safety and decoder targets
+## fuzz: a short fuzzing pass over the sparse-safety, fast-pow, and
+## decoder targets
 fuzz:
 	$(GO) test -fuzz FuzzSparseNeverOverAdmits -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzHalfPowRaise -fuzztime 30s ./internal/mathx/
 	$(GO) test -fuzz 'FuzzRead$$' -fuzztime 30s ./internal/network/
 	$(GO) test -fuzz FuzzReadLinkSet -fuzztime 30s ./internal/network/
 

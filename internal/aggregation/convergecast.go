@@ -1,8 +1,9 @@
 package aggregation
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/network"
 	"repro/internal/radio"
@@ -77,17 +78,16 @@ func Convergecast(t *Tree, params radio.Params, algo sched.Algorithm) (*Schedule
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("aggregation: no ready nodes with %d pending — precedence cycle", n-done)
 		}
-		sort.Slice(ready, func(a, b int) bool {
-			ia, ib := ready[a], ready[b]
-			if height[ia] != height[ib] {
-				return height[ia] > height[ib]
+		slices.SortFunc(ready, func(ia, ib int) int {
+			if c := cmp.Compare(height[ib], height[ia]); c != 0 {
+				return c
 			}
 			da := t.Nodes[ia].Dist(t.ParentPoint(ia))
 			db := t.Nodes[ib].Dist(t.ParentPoint(ib))
-			if da != db {
-				return da < db
+			if c := cmp.Compare(da, db); c != 0 {
+				return c
 			}
-			return ia < ib
+			return cmp.Compare(ia, ib)
 		})
 		var cand []int
 		usedRecv := map[int]bool{}

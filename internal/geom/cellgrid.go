@@ -1,0 +1,141 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellGrid is a bounded uniform grid: Grid's coordinate transform
+// clipped to an Nx×Ny cell rectangle, the shape flat (CSR-style)
+// bucket layouts index with. Unlike Grid — an unbounded pure
+// transform whose cells live in a map — a CellGrid's cell count is
+// fixed at construction, so buckets can be dense prefix-sum arrays
+// with no hashing on the lookup path.
+type CellGrid struct {
+	Origin Point
+	Side   float64
+	Nx, Ny int
+}
+
+// FitCellGrid covers box with cells of the requested side, coarsening
+// the side (never refining) as needed to keep Nx·Ny ≤ maxCells. The
+// cap is what makes dense cell arrays safe: a degenerate side or a
+// pathologically stretched box cannot allocate an unbounded grid.
+// maxCells must be ≥ 1; side must be positive (finite or +Inf — an
+// infinite side, e.g. from an unbounded query-radius heuristic,
+// simply yields a single cell).
+func FitCellGrid(box Rect, side float64, maxCells int) CellGrid {
+	if !(side > 0) {
+		panic(fmt.Sprintf("geom.FitCellGrid: invalid cell side %v", side))
+	}
+	if maxCells < 1 {
+		panic(fmt.Sprintf("geom.FitCellGrid: invalid cell cap %d", maxCells))
+	}
+	g := CellGrid{Origin: Point{box.MinX, box.MinY}, Side: side}
+	w := math.Max(box.Width(), 0)
+	h := math.Max(box.Height(), 0)
+	for {
+		nx := cellsAlong(w, g.Side)
+		ny := cellsAlong(h, g.Side)
+		if nx*ny <= maxCells {
+			g.Nx, g.Ny = nx, ny
+			return g
+		}
+		g.Side *= 2
+	}
+}
+
+// cellsAlong returns how many cells of the given side cover an extent,
+// at least 1 (a zero extent still occupies one cell).
+func cellsAlong(extent, side float64) int {
+	if !(extent > 0) || math.IsInf(side, 1) {
+		return 1
+	}
+	q := extent / side
+	if q >= 1<<31 { // out of any sane cell range; let the cap coarsen
+		return 1 << 31
+	}
+	n := int(math.Floor(q)) + 1
+	if n < 1 { // extent/side underflowed
+		return 1
+	}
+	return n
+}
+
+// CellXY returns the cell coordinates containing p, clamped into the
+// grid rectangle. Clamping (rather than rejecting) keeps boundary
+// points — including the one-ulp nudges BoundingBox applies — inside
+// the bucket structure; radius predicates downstream decide actual
+// membership.
+func (g CellGrid) CellXY(p Point) (int, int) {
+	a := int(math.Floor((p.X - g.Origin.X) / g.Side))
+	b := int(math.Floor((p.Y - g.Origin.Y) / g.Side))
+	return clampInt(a, 0, g.Nx-1), clampInt(b, 0, g.Ny-1)
+}
+
+// CellIndex flattens cell coordinates to the a-major linear index the
+// bucket arrays use.
+func (g CellGrid) CellIndex(a, b int) int { return a*g.Ny + b }
+
+// Cells returns the total cell count Nx·Ny.
+func (g CellGrid) Cells() int { return g.Nx * g.Ny }
+
+// CellRange returns the clamped cell rectangle [a0,a1]×[b0,b1]
+// intersecting the axis-aligned box [minX,maxX]×[minY,maxY], and
+// whether it is non-empty.
+func (g CellGrid) CellRange(minX, minY, maxX, maxY float64) (a0, b0, a1, b1 int, ok bool) {
+	if !(minX <= maxX) || !(minY <= maxY) { // includes NaN inputs
+		return 0, 0, 0, 0, false
+	}
+	a0, b0 = g.CellXY(Point{minX, minY})
+	a1, b1 = g.CellXY(Point{maxX, maxY})
+	return a0, b0, a1, b1, true
+}
+
+// CellBoundsX returns the x interval [lo, hi) that cells in column a
+// cover — the span point-to-cell distance bounds clamp against.
+func (g CellGrid) CellBoundsX(a int) (lo, hi float64) {
+	lo = g.Origin.X + float64(a)*g.Side
+	return lo, lo + g.Side
+}
+
+// CellBoundsY is CellBoundsX for the y axis.
+func (g CellGrid) CellBoundsY(b int) (lo, hi float64) {
+	lo = g.Origin.Y + float64(b)*g.Side
+	return lo, lo + g.Side
+}
+
+// BucketCSR buckets pts into the grid as a CSR layout: start has
+// Cells()+1 entries, and ids[start[c]:start[c+1]] are the indices of
+// the points in cell c, in ascending point order. This is the flat
+// replacement for Grid.Bucket's map — one contiguous allocation,
+// prefix sums instead of hashing, cache-linear cell scans.
+func (g CellGrid) BucketCSR(pts []Point) (start []int32, ids []int32) {
+	start = make([]int32, g.Cells()+1)
+	ids = make([]int32, len(pts))
+	for _, p := range pts {
+		a, b := g.CellXY(p)
+		start[g.CellIndex(a, b)+1]++
+	}
+	for c := 0; c < g.Cells(); c++ {
+		start[c+1] += start[c]
+	}
+	cursor := make([]int32, g.Cells())
+	for i, p := range pts {
+		a, b := g.CellXY(p)
+		c := g.CellIndex(a, b)
+		ids[start[c]+cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return start, ids
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

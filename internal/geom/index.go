@@ -12,19 +12,34 @@ import (
 // radii cover large neighborhoods, and the index keeps the overall
 // algorithms near-linear instead of quadratic.
 //
+// Storage is a flat CSR bucket layout: cell-offset prefix sums over an
+// Nx×Ny cell rectangle plus one packed array of point indices. A
+// radius query walks the covered cell rows with array arithmetic only
+// — the map lookup per cell per query of the original implementation
+// is gone, and because a row's cells are adjacent in the packed
+// array, each covered row is a single contiguous scan. Visit order is
+// preserved exactly: cells in a-major order, ascending point index
+// within each cell.
+//
 // The index is immutable after construction; deletions are handled by
 // the callers' own alive/dead bookkeeping so the index can be shared
 // across algorithm runs on the same instance.
 type Index struct {
-	grid Grid
+	grid CellGrid
 	pts  []Point
-	// cells maps a grid cell to indices of the points inside it.
-	cells map[Cell][]int32
-	// minCell/maxCell bound the populated cells; queries clamp their
-	// scan window to this range so an oversized radius costs O(cells),
-	// not O(radius²/side²).
-	minCell, maxCell Cell
+	// cellStart/ids: CSR buckets — ids[cellStart[c]:cellStart[c+1]]
+	// are the points in flat cell c, ascending.
+	cellStart []int32
+	ids       []int32
 }
+
+// indexMaxCellsPerPoint caps the dense cell array at a small multiple
+// of the point count (plus slack for tiny sets). Inputs whose extent
+// is huge relative to the requested side — where the map version
+// would have hashed a handful of scattered cells — coarsen the side
+// instead; membership answers are identical, only the constant factor
+// changes.
+const indexMaxCellsPerPoint = 4
 
 // NewIndex builds an index over pts with the given cell side. A good
 // side is the expected query radius divided by a small constant; the
@@ -35,37 +50,10 @@ func NewIndex(pts []Point, side float64) *Index {
 		panic(fmt.Sprintf("geom.NewIndex: invalid cell side %v", side))
 	}
 	box := BoundingBox(pts)
-	idx := &Index{
-		grid:  NewGrid(box, side),
-		pts:   pts,
-		cells: make(map[Cell][]int32, len(pts)),
-	}
-	for i, p := range pts {
-		c := idx.grid.CellOf(p)
-		if len(idx.cells) == 0 {
-			idx.minCell, idx.maxCell = c, c
-		} else {
-			idx.minCell.A = min(idx.minCell.A, c.A)
-			idx.minCell.B = min(idx.minCell.B, c.B)
-			idx.maxCell.A = max(idx.maxCell.A, c.A)
-			idx.maxCell.B = max(idx.maxCell.B, c.B)
-		}
-		idx.cells[c] = append(idx.cells[c], int32(i))
-	}
+	idx := &Index{pts: pts}
+	idx.grid = FitCellGrid(box, side, indexMaxCellsPerPoint*len(pts)+64)
+	idx.cellStart, idx.ids = idx.grid.BucketCSR(pts)
 	return idx
-}
-
-// clampScan intersects the query cell window [c0,c1] with the populated
-// cell bounds. The second return is false when the windows are disjoint.
-func (x *Index) clampScan(c0, c1 Cell) (Cell, Cell, bool) {
-	if len(x.cells) == 0 {
-		return c0, c1, false
-	}
-	c0.A = max(c0.A, x.minCell.A)
-	c0.B = max(c0.B, x.minCell.B)
-	c1.A = min(c1.A, x.maxCell.A)
-	c1.B = min(c1.B, x.maxCell.B)
-	return c0, c1, c0.A <= c1.A && c0.B <= c1.B
 }
 
 // Len returns the number of indexed points.
@@ -77,22 +65,20 @@ func (x *Index) Len() int { return len(x.pts) }
 // sort or use the visit order only for set membership). It returns the
 // extended slice.
 func (x *Index) WithinRadius(dst []int, center Point, radius float64) []int {
-	if radius < 0 {
+	if radius < 0 || len(x.pts) == 0 {
 		return dst
 	}
 	r2 := radius * radius
-	c0 := x.grid.CellOf(Point{center.X - radius, center.Y - radius})
-	c1 := x.grid.CellOf(Point{center.X + radius, center.Y + radius})
-	c0, c1, ok := x.clampScan(c0, c1)
+	a0, b0, a1, b1, ok := x.grid.CellRange(center.X-radius, center.Y-radius, center.X+radius, center.Y+radius)
 	if !ok {
 		return dst
 	}
-	for a := c0.A; a <= c1.A; a++ {
-		for b := c0.B; b <= c1.B; b++ {
-			for _, i := range x.cells[Cell{a, b}] {
-				if x.pts[i].Dist2(center) <= r2 {
-					dst = append(dst, int(i))
-				}
+	for a := a0; a <= a1; a++ {
+		rowBase := x.grid.CellIndex(a, 0)
+		lo, hi := x.cellStart[rowBase+b0], x.cellStart[rowBase+b1+1]
+		for _, i := range x.ids[lo:hi] {
+			if x.pts[i].Dist2(center) <= r2 {
+				dst = append(dst, int(i))
 			}
 		}
 	}
@@ -102,22 +88,20 @@ func (x *Index) WithinRadius(dst []int, center Point, radius float64) []int {
 // VisitWithinRadius calls visit for every indexed point within radius
 // of center. It is the allocation-free form of WithinRadius.
 func (x *Index) VisitWithinRadius(center Point, radius float64, visit func(i int)) {
-	if radius < 0 {
+	if radius < 0 || len(x.pts) == 0 {
 		return
 	}
 	r2 := radius * radius
-	c0 := x.grid.CellOf(Point{center.X - radius, center.Y - radius})
-	c1 := x.grid.CellOf(Point{center.X + radius, center.Y + radius})
-	c0, c1, ok := x.clampScan(c0, c1)
+	a0, b0, a1, b1, ok := x.grid.CellRange(center.X-radius, center.Y-radius, center.X+radius, center.Y+radius)
 	if !ok {
 		return
 	}
-	for a := c0.A; a <= c1.A; a++ {
-		for b := c0.B; b <= c1.B; b++ {
-			for _, i := range x.cells[Cell{a, b}] {
-				if x.pts[i].Dist2(center) <= r2 {
-					visit(int(i))
-				}
+	for a := a0; a <= a1; a++ {
+		rowBase := x.grid.CellIndex(a, 0)
+		lo, hi := x.cellStart[rowBase+b0], x.cellStart[rowBase+b1+1]
+		for _, i := range x.ids[lo:hi] {
+			if x.pts[i].Dist2(center) <= r2 {
+				visit(int(i))
 			}
 		}
 	}

@@ -12,8 +12,9 @@
 package protocol
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -152,5 +153,5 @@ func (e *Engine) route(m Message) {
 // SortInbox orders messages by sender id — a convenience for nodes
 // whose logic must be independent of delivery order.
 func SortInbox(inbox []Message) {
-	sort.SliceStable(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+	slices.SortStableFunc(inbox, func(a, b Message) int { return cmp.Compare(a.From, b.From) })
 }

@@ -18,14 +18,29 @@ const denseParallelThreshold = 192
 // is row-sharded across GOMAXPROCS workers — each sender row is an
 // independent slice of the matrix, so workers share nothing and the
 // result is bit-identical at any worker count.
+//
+// Rows are filled by radio.FieldKernel.FactorRow over flat SoA
+// coordinate arrays hoisted from the LinkSet once per build: the
+// per-receiver constant K_j = γ_th·d_jj^α/p_j is precomputed, the
+// inner loop sees squared distances only (no sqrt per pair), and the
+// α-specialized pow family replaces math.Pow (α = 3 runs on one
+// multiply and one sqrt per pair). The same SoA arrays back the
+// incremental rebind patches, which go through the identical kernel
+// and therefore reproduce fill bits exactly.
 type DenseField struct {
 	ls     *network.LinkSet
 	params radio.Params
+	kern   radio.FieldKernel
 	// factor[i*n+j] = f_{i,j} (0 on the diagonal, per Eq. 17),
 	// computed with each link's effective transmit power.
 	factor []float64
 	noise  []float64
 	power  []float64
+	// Flat kernel inputs: sender and receiver coordinates, and the
+	// hoisted per-receiver constant K.
+	sx, sy []float64
+	rx, ry []float64
+	kc     []float64
 	n      int
 }
 
@@ -38,16 +53,19 @@ func newDenseField(ls *network.LinkSet, p radio.Params) *DenseField {
 func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *DenseField {
 	n := ls.Len()
 	f := &DenseField{
-		ls: ls, params: p, n: n,
+		ls: ls, params: p, kern: p.FieldKernel(), n: n,
 		factor: make([]float64, n*n),
 		noise:  make([]float64, n),
 		power:  make([]float64, n),
+		sx:     make([]float64, n),
+		sy:     make([]float64, n),
+		rx:     make([]float64, n),
+		ry:     make([]float64, n),
+		kc:     make([]float64, n),
 	}
 	for i := 0; i < n; i++ {
 		f.power[i] = p.EffectivePower(ls.Power(i))
-	}
-	for j := 0; j < n; j++ {
-		f.noise[j] = p.NoiseFactorP(f.power[j], ls.Length(j))
+		f.bindGeometry(ls, i)
 	}
 	if workers < 1 || n < denseParallelThreshold {
 		workers = 1
@@ -73,16 +91,20 @@ func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *Den
 	return f
 }
 
+// bindGeometry refreshes link i's kernel inputs (coordinates, noise
+// term, receiver constant) from ls. Power must already be current.
+func (f *DenseField) bindGeometry(ls *network.LinkSet, i int) {
+	l := ls.Link(i)
+	f.sx[i], f.sy[i] = l.Sender.X, l.Sender.Y
+	f.rx[i], f.ry[i] = l.Receiver.X, l.Receiver.Y
+	f.noise[i] = f.params.NoiseFactorP(f.power[i], ls.Length(i))
+	f.kc[i] = f.kern.ReceiverConst(f.power[i], ls.Length(i))
+}
+
 // fillRows computes the factor rows of senders [lo, hi).
 func (f *DenseField) fillRows(lo, hi int) {
 	for i := lo; i < hi; i++ {
-		row := f.factor[i*f.n : (i+1)*f.n]
-		for j := 0; j < f.n; j++ {
-			if i == j {
-				continue
-			}
-			row[j] = f.params.InterferenceFactorP(f.power[i], f.ls.Dist(i, j), f.power[j], f.ls.Length(j))
-		}
+		f.kern.FactorRow(f.power[i], f.sx[i], f.sy[i], f.rx, f.ry, f.kc, i, f.factor[i*f.n:(i+1)*f.n])
 	}
 }
 
@@ -130,20 +152,26 @@ func (f *DenseField) row(i int) []float64 { return f.factor[i*f.n : (i+1)*f.n] }
 // place against the new geometry, O(|moved|·n) instead of an O(n²)
 // rebuild. All links keep their identities (count, rates, powers);
 // only positions may differ.
+//
+// The row refill runs the same FactorRow the build uses, and the
+// column patch runs the scalar Factor on the same squared-distance
+// expression — the kernel consistency contract makes both
+// bit-identical to a from-scratch build of the new geometry.
 func (f *DenseField) rebind(ls *network.LinkSet, moved []int) {
 	f.ls = ls
 	for _, i := range moved {
 		f.power[i] = f.params.EffectivePower(ls.Power(i))
-		f.noise[i] = f.params.NoiseFactorP(f.power[i], ls.Length(i))
+		f.bindGeometry(ls, i)
 	}
 	for _, i := range moved {
-		row := f.factor[i*f.n : (i+1)*f.n]
-		for j := 0; j < f.n; j++ {
-			if i == j {
+		f.kern.FactorRow(f.power[i], f.sx[i], f.sy[i], f.rx, f.ry, f.kc, i, f.factor[i*f.n:(i+1)*f.n])
+		for q := 0; q < f.n; q++ {
+			if q == i {
 				continue
 			}
-			row[j] = f.params.InterferenceFactorP(f.power[i], ls.Dist(i, j), f.power[j], ls.Length(j))
-			f.factor[j*f.n+i] = f.params.InterferenceFactorP(f.power[j], ls.Dist(j, i), f.power[i], ls.Length(i))
+			dx := f.rx[i] - f.sx[q]
+			dy := f.ry[i] - f.sy[q]
+			f.factor[q*f.n+i] = f.kern.Factor(f.power[q]*f.kc[i], dx*dx+dy*dy)
 		}
 	}
 }

@@ -1,9 +1,10 @@
 package sched
 
 import (
+	"cmp"
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -144,12 +145,11 @@ func exactSolve(ctx context.Context, pr *Problem, splitDepth int, tr *obs.Tracer
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := pr.Links.Rate(order[a]), pr.Links.Rate(order[b])
-		if ra != rb {
-			return ra > rb
+	slices.SortStableFunc(order, func(a, b int) int {
+		if c := cmp.Compare(pr.Links.Rate(b), pr.Links.Rate(a)); c != 0 {
+			return c
 		}
-		return pr.Links.Length(order[a]) < pr.Links.Length(order[b])
+		return cmp.Compare(pr.Links.Length(a), pr.Links.Length(b))
 	})
 	// suffixRate[d] = Σ rates of decisions d..n−1 (the optimistic bound).
 	suffixRate := make([]float64, n+1)

@@ -49,9 +49,11 @@ type InterferenceField interface {
 	// positive factor on receiver j, in ascending sender order.
 	ForEachSignificant(j int, fn func(i int, f float64))
 	// ForEachAffected calls fn for every stored receiver j that sender
-	// i has a positive factor on, in ascending receiver order. It is
-	// the transpose of ForEachSignificant and drives the incremental
-	// feasibility accumulators.
+	// i has a positive factor on, in a deterministic backend-specific
+	// order (dense walks receivers ascending; sparse walks its grid
+	// rank order). It is the transpose of ForEachSignificant and drives
+	// the incremental feasibility accumulators, whose per-receiver sums
+	// are order-independent.
 	ForEachAffected(i int, fn func(j int, f float64))
 }
 

@@ -3,6 +3,7 @@ package sched
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/network"
 	"repro/internal/radio"
@@ -21,9 +22,9 @@ func genLinkSet(t testing.TB, n int, seed uint64, region float64) *network.LinkS
 }
 
 // TestSparseStoredFactorsExact pins the sparse contract: every stored
-// factor is bit-identical to the dense one (both backends feed the
-// same inputs to InterferenceFactorP), and every truncated off-diagonal
-// pair really is covered by the per-unit-power tail bound.
+// factor is bit-identical to the dense one (both backends run the
+// identical radio.FieldKernel operation sequence), and every truncated
+// off-diagonal pair really is covered by the per-unit-power tail bound.
 func TestSparseStoredFactorsExact(t *testing.T) {
 	for seed := uint64(1); seed <= 3; seed++ {
 		ls := genLinkSet(t, 200, seed, 500)
@@ -202,6 +203,39 @@ func TestAccumIncrementalMatchesRecompute(t *testing.T) {
 	}
 }
 
+// TestSparseWorkerCountBitIdentical proves the sender-sharded sparse
+// build produces the same CSR arrays — offsets, ranks, and factor bits
+// — at any worker count: shards fill disjoint sender ranges into
+// private arenas, and the merge is a pure copy.
+func TestSparseWorkerCountBitIdentical(t *testing.T) {
+	ls := genLinkSet(t, 400, 13, 600)
+	p := radio.DefaultParams()
+	ref, err := newSparseField(ls, p, SparseOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		sf, err := newSparseField(ls, p, SparseOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sf.pairs != ref.pairs {
+			t.Fatalf("workers=%d: %d pairs, serial %d", workers, sf.pairs, ref.pairs)
+		}
+		for i := 0; i <= sf.n; i++ {
+			if sf.colStart[i] != ref.colStart[i] {
+				t.Fatalf("workers=%d: colStart[%d] = %d, serial %d", workers, i, sf.colStart[i], ref.colStart[i])
+			}
+		}
+		for k := range ref.colIdx {
+			if sf.colIdx[k] != ref.colIdx[k] || sf.colF[k] != ref.colF[k] {
+				t.Fatalf("workers=%d: entry %d = (%d, %x), serial (%d, %x)", workers, k,
+					sf.colIdx[k], math.Float64bits(sf.colF[k]), ref.colIdx[k], math.Float64bits(ref.colF[k]))
+			}
+		}
+	}
+}
+
 // TestDenseParallelBitIdentical proves the row-sharded parallel fill
 // produces the same bits as the serial one at any worker count.
 func TestDenseParallelBitIdentical(t *testing.T) {
@@ -251,6 +285,37 @@ func TestHeadroomAllLinksUnusable(t *testing.T) {
 		if s := a.Schedule(pr); s.Len() != 0 {
 			t.Errorf("%s scheduled %d noise-drowned links", a.Name(), s.Len())
 		}
+	}
+}
+
+// TestSparseBuildBeatsDenseAtScale is the construction-cost smoke the
+// sparse backend must keep winning: at n = 5000 under the paper
+// parameters (α = 3, density-preserving region), building the sparse
+// field is faster than filling the dense n² matrix. Min-of-3 on each
+// side absorbs scheduler noise.
+func TestSparseBuildBeatsDenseAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke")
+	}
+	const n = 5000
+	ls := genLinkSet(t, n, 42, 500*math.Sqrt(n/300.0))
+	p := radio.DefaultParams()
+	timeBuild := func(build func()) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			build()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	dense := timeBuild(func() { MustNewProblem(ls, p) })
+	sparse := timeBuild(func() { MustNewProblem(ls, p, WithSparseField(SparseOptions{})) })
+	t.Logf("n=%d build: dense %v, sparse %v", n, dense, sparse)
+	if sparse >= dense {
+		t.Errorf("sparse build %v is not faster than dense %v at n=%d", sparse, dense, n)
 	}
 }
 

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/geom"
@@ -32,37 +32,54 @@ type SparseOptions struct {
 // deployment density the evaluation sweeps.
 const DefaultSparseCutoffFrac = 1e-4
 
-// sparseEntry is one stored (link, factor) pair.
-type sparseEntry struct {
-	idx int32
-	f   float64
-}
-
-// SparseField stores only near-field interference factors, found with
-// the internal/geom grid index, and budgets the truncated far field
-// with the provable per-unit-power cap of radio.Params.FarFieldCap
-// (the same ring-summation reasoning behind the LDP/RLE constants):
-// a sender beyond receiver j's truncation radius R_j contributes at
-// most P_i·γ_th·d_jj^α/(P_j·R_j^α) ≤ Cutoff. Feasibility answers read
-// through it are therefore conservative-only — a schedule the sparse
-// field admits is feasible under the exact dense factors, while memory
-// and construction scale with the number of significant pairs instead
-// of n².
+// SparseField stores only near-field interference factors and budgets
+// the truncated far field with the provable per-unit-power cap of
+// radio.Params.FarFieldCap (the same ring-summation reasoning behind
+// the LDP/RLE constants): a sender beyond receiver j's truncation
+// radius R_j contributes at most P_i·γ_th·d_jj^α/(P_j·R_j^α) ≤ Cutoff.
+// Feasibility answers read through it are therefore conservative-only —
+// a schedule the sparse field admits is feasible under the exact dense
+// factors, while memory and construction scale with the number of
+// significant pairs instead of n².
+//
+// Construction is a sender-major fused pass: receivers are bucketed
+// into a geom.CellGrid (CSR layout, no maps), ordered by descending
+// truncation radius within each cell, and every sender streams its
+// candidate cells through radio.FieldKernel.FactorSpan — distance
+// test, factor computation, and CSR append in one loop, with the
+// radius-descending cell order turning the per-receiver radius test
+// into an early break. Factors are produced directly in sender-major
+// (column) order; the receiver-major rows are transposed lazily on
+// first ForEachSignificant. Workers fill disjoint sender ranges into
+// private arenas, so the result is bit-identical at any worker count.
 type SparseField struct {
 	ls     *network.LinkSet
 	params radio.Params
+	kern   radio.FieldKernel
 	n      int
 	power  []float64
 	noise  []float64
 	// tailCap[j] = FarFieldCap(P_j, d_jj, R_j): the per-unit-power
 	// bound on any truncated sender's factor on receiver j.
 	tailCap []float64
-	// rows[j] holds the stored senders on receiver j, ascending by
-	// sender; cols[i] is the transpose (stored receivers of sender i).
-	rows [][]sparseEntry
-	cols [][]sparseEntry
+	// Receiver rank permutation: receivers are stored in grid order
+	// (cells a-major, descending truncation radius within a cell).
+	// ids maps rank → link id, rankOf maps link id → rank.
+	ids    []int32
+	rankOf []int32
+	// Sender-major CSR: colIdx[colStart[i]:colStart[i+1]] are the
+	// stored receiver ranks of sender i (ascending), colF the factors.
+	colStart []int
+	colIdx   []int32
+	colF     []float64
 	// pairs counts stored (sender, receiver) pairs.
 	pairs int
+	// Receiver-major CSR (stored senders per receiver, ascending),
+	// built on demand: the solver hot paths only walk columns.
+	rowsOnce sync.Once
+	rowStart []int
+	rowIdx   []int32
+	rowF     []float64
 }
 
 func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*SparseField, error) {
@@ -75,14 +92,13 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 	}
 	n := ls.Len()
 	f := &SparseField{
-		ls: ls, params: p, n: n,
+		ls: ls, params: p, kern: p.FieldKernel(), n: n,
 		power:   make([]float64, n),
 		noise:   make([]float64, n),
 		tailCap: make([]float64, n),
-		rows:    make([][]sparseEntry, n),
-		cols:    make([][]sparseEntry, n),
 	}
 	if n == 0 {
+		f.colStart = make([]int, 1)
 		return f, nil
 	}
 	var pmax float64
@@ -90,25 +106,108 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 		f.power[i] = p.EffectivePower(ls.Power(i))
 		pmax = math.Max(pmax, f.power[i])
 	}
+
+	// Geometry bounds. No pair can be farther apart than the diagonal
+	// of the joint sender+receiver bounding box, so truncation radii
+	// are clamped to it (diag2 carries 2× slack so float rounding can
+	// never drop a real pair): the stored-pair set is unchanged, while
+	// near-infinite radii from tiny cutoffs stop distorting the grid.
+	// tailCap keeps the unclamped radius — distances beyond the
+	// diagonal do not occur, so its coverage claim is intact.
+	senders, receivers := ls.Senders(), ls.Receivers()
+	box := geom.BoundingBox(senders)
+	rbox := geom.BoundingBox(receivers)
+	box.MinX = math.Min(box.MinX, rbox.MinX)
+	box.MinY = math.Min(box.MinY, rbox.MinY)
+	box.MaxX = math.Max(box.MaxX, rbox.MaxX)
+	box.MaxY = math.Max(box.MaxY, rbox.MaxY)
+	diag2 := 2 * (box.Width()*box.Width() + box.Height()*box.Height())
+
 	// Per-receiver truncation radius: beyond radius[j] even a pmax
 	// sender's factor on j stays below the cutoff.
 	radius := make([]float64, n)
+	rad2 := make([]float64, n)
+	var maxRad float64
 	for j := 0; j < n; j++ {
 		f.noise[j] = p.NoiseFactorP(f.power[j], ls.Length(j))
 		radius[j] = p.TruncationRadius(f.power[j], ls.Length(j), pmax, cutoff)
 		f.tailCap[j] = p.FarFieldCap(f.power[j], ls.Length(j), radius[j])
+		r2 := math.Min(radius[j]*radius[j], diag2)
+		rad2[j] = r2
+		radius[j] = math.Sqrt(r2)
+		maxRad = math.Max(maxRad, radius[j])
 	}
-	// Index senders at a cell side tied to the typical query radius;
-	// the median is robust to the radius spread heterogeneous powers
-	// and lengths produce.
+
+	// Bucket the receivers at a cell side tied to the typical query
+	// radius; the median is robust to the radius spread heterogeneous
+	// powers and lengths produce. The cell cap bounds degenerate sides.
 	side := mathx.Median(radius) / 3
 	if !(side > 0) || math.IsInf(side, 1) {
-		// Degenerate radii (e.g. absurdly small cutoffs) — fall back to
-		// a geometry-derived side so the index stays valid.
-		box := geom.BoundingBox(ls.Senders())
-		side = math.Max(box.Width(), box.Height())/64 + 1
+		side = math.Max(rbox.Width(), rbox.Height())/64 + 1
 	}
-	idx := geom.NewIndex(ls.Senders(), side)
+	grid := geom.FitCellGrid(rbox, side, 4*n+64)
+	// CellXY's floor transform can misplace a boundary point by a few
+	// ulp relative to the nominal cell rectangle; shrinking the
+	// cell-distance lower bounds by gridEps (≫ that error, ≪ any real
+	// geometry) keeps the skip/break tests provably conservative.
+	gridEps := math.Max(float64(grid.Nx), float64(grid.Ny)) * grid.Side * 0x1p-48
+
+	// Rank the receivers: cells in a-major order; descending clamped
+	// radius within a cell (FactorSpan's early-break contract), link id
+	// breaking ties so the layout is deterministic.
+	cellOf := make([]int32, n)
+	for j, r := range receivers {
+		a, b := grid.CellXY(r)
+		cellOf[j] = int32(grid.CellIndex(a, b))
+	}
+	f.ids = make([]int32, n)
+	for j := range f.ids {
+		f.ids[j] = int32(j)
+	}
+	slices.SortFunc(f.ids, func(a, b int32) int {
+		if cellOf[a] != cellOf[b] {
+			return int(cellOf[a] - cellOf[b])
+		}
+		if rad2[a] != rad2[b] {
+			if rad2[a] > rad2[b] {
+				return -1
+			}
+			return 1
+		}
+		return int(a - b)
+	})
+	f.rankOf = make([]int32, n)
+	cellStart := make([]int32, grid.Cells()+1)
+	// Rank-ordered SoA kernel inputs: coordinates, clamped squared
+	// radius, and the hoisted receiver constant K.
+	crx := make([]float64, n)
+	cry := make([]float64, n)
+	crad2 := make([]float64, n)
+	cK := make([]float64, n)
+	for rank, id := range f.ids {
+		f.rankOf[id] = int32(rank)
+		crx[rank] = receivers[id].X
+		cry[rank] = receivers[id].Y
+		crad2[rank] = rad2[id]
+		cK[rank] = f.kern.ReceiverConst(f.power[id], ls.Length(int(id)))
+		cellStart[cellOf[id]+1]++
+	}
+	for c := 0; c < grid.Cells(); c++ {
+		cellStart[c+1] += cellStart[c]
+	}
+
+	// Pair-count estimate for the worker arenas: disk area × receiver
+	// density, coverage-clipped to the box. Underestimates just grow.
+	area := rbox.Width() * rbox.Height()
+	var est float64
+	if area > 0 {
+		density := float64(n) / area
+		for j := 0; j < n; j++ {
+			r := radius[j]
+			clip := math.Min(2*r, rbox.Width()) * math.Min(2*r, rbox.Height())
+			est += math.Min(math.Pi*r*r, clip) * density
+		}
+	}
 
 	workers := o.Workers
 	if workers <= 0 {
@@ -117,52 +216,132 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 	if workers > n {
 		workers = n
 	}
-	// Receiver shards are independent: each worker fills rows[j] for
-	// its own j range, so the result is deterministic at any width.
-	var wg sync.WaitGroup
+	type shard struct {
+		lo, hi int
+		idx    []int32
+		f      []float64
+		w      int
+	}
+	shards := make([]*shard, 0, workers)
 	chunk := (n + workers - 1) / workers
 	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
+		shards = append(shards, &shard{lo: lo, hi: min(lo+chunk, n)})
+	}
+	colCount := make([]int32, n)
+	arenaCap := int(est)/len(shards) + 256
+
+	var wg sync.WaitGroup
+	for _, s := range shards {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(s *shard) {
 			defer wg.Done()
-			for j := lo; j < hi; j++ {
-				rj := ls.Link(j).Receiver
-				var row []sparseEntry
-				idx.VisitWithinRadius(rj, radius[j], func(i int) {
-					if i == j {
-						return
+			s.idx = make([]int32, arenaCap)
+			s.f = make([]float64, arenaCap)
+			for i := s.lo; i < s.hi; i++ {
+				sx, sy := senders[i].X, senders[i].Y
+				pi := f.power[i]
+				selfRank := int(f.rankOf[i])
+				begin := s.w
+				a0, b0, a1, b1, ok := grid.CellRange(sx-maxRad, sy-maxRad, sx+maxRad, sy+maxRad)
+				if !ok {
+					continue
+				}
+				for a := a0; a <= a1; a++ {
+					// Distance lower bound along x; boundary cells
+					// absorb clamped outliers, so they are unbounded.
+					var dxLo float64
+					if xlo, xhi := grid.CellBoundsX(a); a > 0 && sx < xlo {
+						dxLo = math.Max(0, xlo-sx-gridEps)
+					} else if a < grid.Nx-1 && sx > xhi {
+						dxLo = math.Max(0, sx-xhi-gridEps)
 					}
-					fij := p.InterferenceFactorP(f.power[i], ls.Dist(i, j), f.power[j], ls.Length(j))
-					row = append(row, sparseEntry{idx: int32(i), f: fij})
-				})
-				sort.Slice(row, func(a, b int) bool { return row[a].idx < row[b].idx })
-				f.rows[j] = row
+					rowBase := grid.CellIndex(a, 0)
+					for b := b0; b <= b1; b++ {
+						r0, r1 := int(cellStart[rowBase+b]), int(cellStart[rowBase+b+1])
+						if r0 == r1 {
+							continue
+						}
+						var dyLo float64
+						if ylo, yhi := grid.CellBoundsY(b); b > 0 && sy < ylo {
+							dyLo = math.Max(0, ylo-sy-gridEps)
+						} else if b < grid.Ny-1 && sy > yhi {
+							dyLo = math.Max(0, sy-yhi-gridEps)
+						}
+						minD2 := dxLo*dxLo + dyLo*dyLo
+						if crad2[r0] < minD2 { // cell's widest radius can't reach
+							continue
+						}
+						if need := r1 - r0; len(s.idx)-s.w < need {
+							newCap := max(2*len(s.idx), s.w+need)
+							ni := make([]int32, newCap)
+							copy(ni, s.idx[:s.w])
+							s.idx = ni
+							nf := make([]float64, newCap)
+							copy(nf, s.f[:s.w])
+							s.f = nf
+						}
+						self := -1
+						if selfRank >= r0 && selfRank < r1 {
+							self = selfRank - r0
+						}
+						s.w = f.kern.FactorSpan(pi, sx, sy,
+							crx[r0:r1], cry[r0:r1], cK[r0:r1], crad2[r0:r1],
+							minD2, self, int32(r0), s.idx, s.f, s.w)
+					}
+				}
+				colCount[i] = int32(s.w - begin)
 			}
-		}(lo, hi)
+		}(s)
 	}
 	wg.Wait()
 
-	// Transpose: iterate receivers ascending so cols[i] comes out
-	// sorted by receiver without a second sort.
-	counts := make([]int, n)
-	for j := 0; j < n; j++ {
-		f.pairs += len(f.rows[j])
-		for _, e := range f.rows[j] {
-			counts[e.idx]++
-		}
-	}
+	f.colStart = make([]int, n+1)
 	for i := 0; i < n; i++ {
-		if counts[i] > 0 {
-			f.cols[i] = make([]sparseEntry, 0, counts[i])
-		}
+		f.colStart[i+1] = f.colStart[i] + int(colCount[i])
 	}
-	for j := 0; j < n; j++ {
-		for _, e := range f.rows[j] {
-			f.cols[e.idx] = append(f.cols[e.idx], sparseEntry{idx: int32(j), f: e.f})
-		}
+	f.pairs = f.colStart[n]
+	if len(shards) == 1 {
+		s := shards[0]
+		f.colIdx = s.idx[:s.w:s.w]
+		f.colF = s.f[:s.w:s.w]
+		return f, nil
+	}
+	f.colIdx = make([]int32, f.pairs)
+	f.colF = make([]float64, f.pairs)
+	for _, s := range shards {
+		off := f.colStart[s.lo]
+		copy(f.colIdx[off:off+s.w], s.idx[:s.w])
+		copy(f.colF[off:off+s.w], s.f[:s.w])
 	}
 	return f, nil
+}
+
+// buildRows materializes the receiver-major transpose. Scattering in
+// ascending sender order leaves each receiver's senders ascending, so
+// no sort is needed.
+func (f *SparseField) buildRows() {
+	f.rowsOnce.Do(func() {
+		rowCount := make([]int32, f.n)
+		for _, r := range f.colIdx {
+			rowCount[f.ids[r]]++
+		}
+		f.rowStart = make([]int, f.n+1)
+		for j := 0; j < f.n; j++ {
+			f.rowStart[j+1] = f.rowStart[j] + int(rowCount[j])
+		}
+		f.rowIdx = make([]int32, f.pairs)
+		f.rowF = make([]float64, f.pairs)
+		cursor := make([]int, f.n)
+		copy(cursor, f.rowStart[:f.n])
+		for i := 0; i < f.n; i++ {
+			for k := f.colStart[i]; k < f.colStart[i+1]; k++ {
+				j := f.ids[f.colIdx[k]]
+				f.rowIdx[cursor[j]] = int32(i)
+				f.rowF[cursor[j]] = f.colF[k]
+				cursor[j]++
+			}
+		}
+	})
 }
 
 // N implements InterferenceField.
@@ -171,18 +350,9 @@ func (f *SparseField) N() int { return f.n }
 // Factor implements InterferenceField: the stored factor, or 0 for
 // truncated pairs (covered by TailBound) and the diagonal.
 func (f *SparseField) Factor(i, j int) float64 {
-	row := f.rows[j]
-	lo, hi := 0, len(row)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if int(row[mid].idx) < i {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(row) && int(row[lo].idx) == i {
-		return row[lo].f
+	span := f.colIdx[f.colStart[i]:f.colStart[i+1]]
+	if k, found := slices.BinarySearch(span, f.rankOf[j]); found {
+		return f.colF[f.colStart[i]+k]
 	}
 	return 0
 }
@@ -198,15 +368,17 @@ func (f *SparseField) TailBound(j int) float64 { return f.tailCap[j] }
 
 // ForEachSignificant implements InterferenceField.
 func (f *SparseField) ForEachSignificant(j int, fn func(i int, fij float64)) {
-	for _, e := range f.rows[j] {
-		fn(int(e.idx), e.f)
+	f.buildRows()
+	for k := f.rowStart[j]; k < f.rowStart[j+1]; k++ {
+		fn(int(f.rowIdx[k]), f.rowF[k])
 	}
 }
 
-// ForEachAffected implements InterferenceField.
+// ForEachAffected implements InterferenceField: a walk of sender i's
+// column span, in receiver rank (grid) order.
 func (f *SparseField) ForEachAffected(i int, fn func(j int, fij float64)) {
-	for _, e := range f.cols[i] {
-		fn(int(e.idx), e.f)
+	for k := f.colStart[i]; k < f.colStart[i+1]; k++ {
+		fn(int(f.ids[f.colIdx[k]]), f.colF[k])
 	}
 }
 

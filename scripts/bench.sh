@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the repository performance suite and emit a
-# machine-readable record (BENCH_PR6.json by default): ns/op, B/op, and
+# machine-readable record (BENCH_PR7.json by default): ns/op, B/op, and
 # allocs/op for the figure-regeneration bench (Fig 5a),
 # interference-field construction, cold-build vs warm-prepared solves,
 # the schedd end-to-end paths (cold / prepared-field /
@@ -8,24 +8,30 @@
 # plus the ≥1M-packet n=5000 throughput run with its packets/sec
 # metric).
 #
-#   scripts/bench.sh              full run, writes BENCH_PR6.json
+#   scripts/bench.sh              full run, writes BENCH_PR7.json
 #   scripts/bench.sh -quick       1-iteration smoke (check.sh uses this)
 #   scripts/bench.sh -o out.json  choose the output path
 #
 # BENCHTIME overrides the per-benchmark budget (default 1s; -quick
-# forces 1x).
+# forces 1x). Field-construction benchmarks (BenchmarkNewProblem) run
+# under a fixed -count=1 -benchtime=3s budget so the n=5000 builds get
+# multiple iterations; any result that still lands at one iteration is
+# flagged "low_iter" in the JSON so single-sample numbers are never
+# mistaken for converged ones.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR6.json
+out=BENCH_PR7.json
 benchtime=${BENCHTIME:-1s}
+buildbenchtime=3s
 quick=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -quick)
         quick=1
         benchtime=1x
+        buildbenchtime=1x
         ;;
     -o)
         out=$2
@@ -43,10 +49,11 @@ tmp=$(mktemp)
 part=$(mktemp)
 trap 'rm -f "$tmp" "$part"' EXIT
 
-run() { # run <package> <bench regex>
+run() { # run <package> <bench regex> [benchtime]
     # Capture first, append on success: a pipeline into tee would hide
     # go test's exit status from `set -e`.
-    if ! go test -run '^$' -bench "$2" -benchtime "$benchtime" "$1" >"$part" 2>&1; then
+    bt=${3:-$benchtime}
+    if ! go test -run '^$' -bench "$2" -benchtime "$bt" -count=1 "$1" >"$part" 2>&1; then
         cat "$part" >&2
         echo "bench.sh: go test -bench $2 $1 failed" >&2
         exit 1
@@ -61,7 +68,8 @@ if [ "$quick" = 1 ]; then
     run ./internal/traffic/ 'BenchmarkEngineStep$'
 else
     run . 'BenchmarkFig5a$'
-    run . 'BenchmarkNewProblem$'
+    # Field builds get a fixed multi-iteration budget (see header).
+    run . 'BenchmarkNewProblem$' "$buildbenchtime"
     run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
     run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$'
     run ./internal/traffic/ 'BenchmarkEngineStep$|BenchmarkEngineThroughput$'
@@ -73,7 +81,7 @@ fi
 # b.ReportMetric units; each becomes a key with '/' spelled _per_.
 {
     printf '{\n'
-    printf '  "id": "BENCH_PR6",\n'
+    printf '  "id": "%s",\n' "$(basename "$out" .json)"
     printf '  "generated_at": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
     printf '  "benchtime": "%s",\n' "$benchtime"
@@ -82,6 +90,7 @@ fi
         /^Benchmark/ && NF >= 4 {
             if (n++) printf ",\n"
             printf "    {\"name\": \"%s\", \"iters\": %s", $1, $2
+            if ($2 + 0 == 1) printf ", \"low_iter\": true"
             for (i = 3; i < NF; i += 2) {
                 key = $(i + 1)
                 gsub(/\//, "_per_", key)

@@ -1,0 +1,79 @@
+#!/bin/sh
+# benchcmp.sh — compare two bench.sh JSON records benchmark by
+# benchmark and flag regressions.
+#
+#   scripts/benchcmp.sh OLD.json NEW.json [threshold-pct]
+#
+# For every benchmark present in both files it prints old/new ns/op and
+# the delta; ns/op regressions beyond the threshold (default 10%) are
+# marked "REGRESSION" and make the script exit 1, so it can gate CI.
+# Benchmarks flagged low_iter (a single iteration) are compared but
+# annotated — one-sample numbers are too noisy to fail a build on, so
+# they warn instead of erroring. Benchmarks present in only one file
+# are listed as added/removed.
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+    echo "usage: benchcmp.sh OLD.json NEW.json [threshold-pct]" >&2
+    exit 2
+fi
+old=$1
+new=$2
+threshold=${3:-10}
+for f in "$old" "$new"; do
+    [ -r "$f" ] || { echo "benchcmp.sh: cannot read $f" >&2; exit 2; }
+done
+
+# Flatten one bench.sh JSON into "name ns_per_op low_iter" lines. The
+# records are machine-written one benchmark per line, so line-oriented
+# extraction is reliable without a JSON parser in the image.
+flatten() {
+    tr ',' '\n' <"$1" | awk '
+        /"name":/     { gsub(/.*"name": *"|".*/, ""); name = $0 }
+        /"low_iter":/ { low[name] = 1 }
+        /"ns_per_op":/ {
+            gsub(/.*"ns_per_op": */, "")
+            gsub(/[^0-9.eE+-]/, "")
+            ns[name] = $0
+        }
+        END { for (n in ns) printf "%s %s %d\n", n, ns[n], low[n] }
+    '
+}
+
+tmpo=$(mktemp)
+tmpn=$(mktemp)
+trap 'rm -f "$tmpo" "$tmpn"' EXIT
+flatten "$old" >"$tmpo"
+flatten "$new" >"$tmpn"
+
+awk -v threshold="$threshold" -v oldfile="$old" -v newfile="$new" '
+    NR == FNR { oldns[$1] = $2; oldlow[$1] = $3; next }
+    { newns[$1] = $2; newlow[$1] = $3 }
+    END {
+        printf "%-56s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+        regressions = 0
+        n = 0
+        for (b in newns) names[n++] = b
+        # deterministic report order
+        for (i = 0; i < n; i++)
+            for (j = i + 1; j < n; j++)
+                if (names[j] < names[i]) { t = names[i]; names[i] = names[j]; names[j] = t }
+        for (i = 0; i < n; i++) {
+            b = names[i]
+            if (!(b in oldns)) { printf "%-56s %14s %14.0f %9s\n", b, "-", newns[b], "added"; continue }
+            pct = oldns[b] > 0 ? 100 * (newns[b] - oldns[b]) / oldns[b] : 0
+            note = ""
+            if (pct > threshold) {
+                if (oldlow[b] || newlow[b]) note = "  noisy (single iteration) — not gated"
+                else { note = "  REGRESSION"; regressions++ }
+            }
+            printf "%-56s %14.0f %14.0f %+8.1f%%%s\n", b, oldns[b], newns[b], pct, note
+            delete oldns[b]
+        }
+        for (b in oldns) printf "%-56s %14.0f %14s %9s\n", b, oldns[b], "-", "removed"
+        if (regressions) {
+            printf "\n%d benchmark(s) regressed more than %s%% (%s -> %s)\n", regressions, threshold, oldfile, newfile
+            exit 1
+        }
+    }
+' "$tmpo" "$tmpn"

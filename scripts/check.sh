@@ -55,6 +55,20 @@ echo "== traffic zero-alloc gate"
 # that counts.
 go test -run TestEngineSlotZeroAllocs -count=1 ./internal/traffic/
 
+echo "== kernel differential gate"
+# The field-build kernels against their references, uncached: the
+# α-specialized pow family within 1 ulp of correctly rounded, the
+# positive-domain log1p bit-identical to the stdlib, and the
+# Factor/FactorRow/FactorSpan consistency contract that keeps the
+# dense and sparse backends bit-equal.
+go test -run 'TestHalfPow|TestLog1pPos|TestFieldKernel|TestFactorRowSpan' -count=1 ./internal/mathx/ ./internal/radio/
+
+echo "== sparse construction gate"
+# The sparse backend must stay conservative-only (stored factors
+# bit-identical to dense, truncation never over-admits) and must beat
+# the dense fill at n=5000 — the scale the CSR-grid build exists for.
+go test -run 'TestSparseStoredFactorsExact|TestSparseNeverOverAdmits|TestSparseWorkerCountBitIdentical|TestSparseBuildBeatsDenseAtScale' -count=1 ./internal/sched/
+
 echo "== bench smoke"
 # One-iteration pass over the prepared/batch/traffic benchmarks proving
 # the JSON emitter works end to end; the full run is `make bench-json`.
