@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
+.PHONY: check test test-full test-stream bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -18,6 +18,12 @@ test:
 test-full:
 	$(GO) test ./...
 
+## test-stream: the streaming-session suite under the race detector —
+## differential oracle, byte-exact resume, drain, cache pinning
+test-stream:
+	$(GO) vet ./internal/server/ ./internal/mobility/ ./internal/network/
+	$(GO) test -race -run 'TestSession|TestPrepCache|TestEditor|TestRebind|TestTracker' -count=1 ./internal/server/ ./internal/mobility/
+
 ## bench: interference-backend construction/scheduling benchmarks
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
@@ -28,9 +34,9 @@ bench-field:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem$$' -benchtime 3s -count=1 .
 	$(GO) test -run '^$$' -bench 'BenchmarkLog1pPos$$|BenchmarkLog1pStdlib$$|BenchmarkHalfPow' -count=1 ./internal/mathx/
 
-## bench-json: the full performance suite → BENCH_PR7.json
+## bench-json: the full performance suite → BENCH_PR8.json
 ## (Fig 5a, field build, cold vs warm-prepared solve, schedd
-## end-to-end, traffic engine)
+## end-to-end, traffic engine, streaming-session event loop)
 bench-json:
 	sh scripts/bench.sh
 
@@ -66,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzHalfPowRaise -fuzztime 30s ./internal/mathx/
 	$(GO) test -fuzz 'FuzzRead$$' -fuzztime 30s ./internal/network/
 	$(GO) test -fuzz FuzzReadLinkSet -fuzztime 30s ./internal/network/
+	$(GO) test -fuzz FuzzSessionEvents -fuzztime 30s ./internal/server/
 
 fmt:
 	gofmt -w .

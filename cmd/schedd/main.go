@@ -10,7 +10,11 @@
 // under many algorithm/ε configs with a single interference-field
 // build; POST /v1/traffic runs a queued-traffic simulation (arrival
 // process, queue policy, deadline-truncated) over the same cached
-// interference fields; see the README's "Serving" section for the
+// interference fields; POST /v1/session opens a streaming scheduling
+// session — the client streams move/add/remove/retune events over one
+// long-lived request and receives re-solved schedule deltas, resuming
+// after a disconnect via GET /v1/session/{id}/deltas?seq=N; see the
+// README's "Serving" and "Streaming sessions" sections for the
 // schemas.
 // GET /v1/algorithms lists the registry; GET /metrics serves
 // Prometheus text exposition; /debug/vars serves expvar metrics; the
@@ -69,6 +73,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxLinks  = fs.Int("max-links", 20000, "per-request instance size limit")
 		timeout   = fs.Duration("timeout", 30*time.Second, "default per-request solve deadline")
 		maxTO     = fs.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
+		maxSess   = fs.Int("max-sessions", 256, "max concurrently open streaming sessions (negative disables sessions)")
+		sessTTL   = fs.Duration("session-ttl", 5*time.Minute, "evict sessions idle (no event, no live stream) this long")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
 		logFormat = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -93,6 +99,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxLinks:          *maxLinks,
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTO,
+		MaxSessions:       *maxSess,
+		SessionTTL:        *sessTTL,
 		Logger:            logger,
 	})
 	publishOnce.Do(func() { expvar.Publish("schedd", srv.Metrics().Vars()) })
@@ -133,9 +141,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, let in-flight solves finish under their
-	// own request deadlines, capped by the drain budget.
+	// Drain: close the session layer first — live event streams and
+	// long-polls are long-lived requests that would otherwise hold
+	// Shutdown open for the whole budget — then stop accepting and let
+	// in-flight solves finish under their own request deadlines, capped
+	// by the drain budget.
 	fmt.Fprintf(out, "schedd: shutting down, draining in-flight requests\n")
+	srv.Close()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = httpSrv.Shutdown(drainCtx)

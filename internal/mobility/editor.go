@@ -1,0 +1,179 @@
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/sched"
+)
+
+// Editor applies streaming geometry events — move, add, remove, retune
+// — onto a live Prepared handle. It is the client-driven counterpart
+// of Tracker: where Tracker advances a synthetic Trace and rebinds
+// whatever drifted, Editor applies one explicit event at a time and
+// picks the cheapest update the event admits:
+//
+//   - move goes through Problem.Rebind — the dense backend patches only
+//     the moved link's row and column, O(n) instead of the O(n²)
+//     rebuild, which is what makes per-event re-solving affordable;
+//   - retune goes through Prepared.Derive — ε never enters the stored
+//     factors, so the field is reused untouched;
+//   - add and remove change the link count, which no backend can patch
+//     incrementally; they rebuild the field (counted by Rebuilds so
+//     callers can account for the O(n²) cost honestly).
+//
+// Every mutator validates the candidate geometry through NewLinkSet
+// before touching the problem, so a rejected event provably leaves the
+// editor's state unchanged. An Editor is not safe for concurrent use;
+// callers serialize events against solves exactly as Problem.Rebind
+// already requires.
+type Editor struct {
+	links []network.Link
+	opt   sched.Option
+	prep  *sched.Prepared
+
+	rebinds  int64
+	rebuilds int64
+}
+
+// NewEditor wraps an existing prepared handle. opt must be the field
+// option the handle was built with (nil selects the dense default);
+// add and remove rebuild through it.
+func NewEditor(prep *sched.Prepared, opt sched.Option) *Editor {
+	if opt == nil {
+		opt = sched.WithDenseField()
+	}
+	return &Editor{
+		links: prep.Problem().Links.Links(),
+		opt:   opt,
+		prep:  prep,
+	}
+}
+
+// Prepared returns the current solve handle. Rebuilding events (add,
+// remove) replace it, so callers must re-read after every event rather
+// than caching it.
+func (ed *Editor) Prepared() *sched.Prepared { return ed.prep }
+
+// N returns the current number of links.
+func (ed *Editor) N() int { return len(ed.links) }
+
+// Links returns a copy of the current link list.
+func (ed *Editor) Links() []network.Link {
+	return append([]network.Link(nil), ed.links...)
+}
+
+// Rebinds counts events applied by incremental field patching.
+func (ed *Editor) Rebinds() int64 { return ed.rebinds }
+
+// Rebuilds counts events that paid a full field reconstruction.
+func (ed *Editor) Rebuilds() int64 { return ed.rebuilds }
+
+// Apply dispatches one wire event. The frame must already have passed
+// SessionEvent.Validate against the current N.
+func (ed *Editor) Apply(ev *network.SessionEvent) error {
+	switch ev.Type {
+	case network.EventMove:
+		return ed.Move(ev.Link, ev.Sender, ev.Receiver)
+	case network.EventAdd:
+		return ed.Add(*ev.Add)
+	case network.EventRemove:
+		return ed.Remove(ev.Link)
+	case network.EventRetune:
+		return ed.Retune(ev.Eps)
+	default:
+		return fmt.Errorf("mobility: unknown event type %q", ev.Type)
+	}
+}
+
+// Move repositions link i: a non-nil sender and/or receiver replaces
+// the corresponding endpoint. The interference field is patched
+// incrementally via Rebind — on the dense backend only row and column
+// i are recomputed.
+func (ed *Editor) Move(i int, sender, receiver *geom.Point) error {
+	if i < 0 || i >= len(ed.links) {
+		return fmt.Errorf("mobility: move link %d out of range [0,%d)", i, len(ed.links))
+	}
+	if sender == nil && receiver == nil {
+		return fmt.Errorf("mobility: move needs a sender and/or receiver position")
+	}
+	next := append([]network.Link(nil), ed.links...)
+	l := next[i]
+	if sender != nil {
+		l.Sender = *sender
+	}
+	if receiver != nil {
+		l.Receiver = *receiver
+	}
+	next[i] = l
+	ls, err := network.NewLinkSet(next)
+	if err != nil {
+		return err
+	}
+	if err := ed.prep.Problem().Rebind(ls, []int{i}); err != nil {
+		return err
+	}
+	ed.links = next
+	ed.rebinds++
+	return nil
+}
+
+// Add appends a link and rebuilds the field (the link count changed;
+// no backend patches that incrementally). The new link's index is the
+// new N−1; existing indices are stable.
+func (ed *Editor) Add(l network.Link) error {
+	next := make([]network.Link, 0, len(ed.links)+1)
+	next = append(next, ed.links...)
+	next = append(next, l)
+	return ed.rebuild(next)
+}
+
+// Remove splices link i out and rebuilds the field. Links above i
+// shift down by one — RenumberAfterRemove is the matching index
+// rewrite for any schedule held against the old instance.
+func (ed *Editor) Remove(i int) error {
+	if i < 0 || i >= len(ed.links) {
+		return fmt.Errorf("mobility: remove link %d out of range [0,%d)", i, len(ed.links))
+	}
+	if len(ed.links) == 1 {
+		return fmt.Errorf("mobility: cannot remove the last link (an instance needs at least one)")
+	}
+	next := make([]network.Link, 0, len(ed.links)-1)
+	next = append(next, ed.links[:i]...)
+	next = append(next, ed.links[i+1:]...)
+	return ed.rebuild(next)
+}
+
+// Retune changes the target success probability ε, deriving a sibling
+// handle over the same field — no rebuild, no rebind. After a retune
+// the previous handle is dropped, so the Derive-vs-Rebind exclusion
+// (siblings must not outlive a rebind) holds by construction: the
+// derived handle is the only live view of the field.
+func (ed *Editor) Retune(eps float64) error {
+	p := ed.prep.Problem().Params
+	p.Eps = eps
+	dp, err := ed.prep.Derive(p)
+	if err != nil {
+		return err
+	}
+	ed.prep = dp
+	return nil
+}
+
+// rebuild validates next and replaces the prepared handle with a fresh
+// build over it, keeping the current radio parameters.
+func (ed *Editor) rebuild(next []network.Link) error {
+	ls, err := network.NewLinkSet(next)
+	if err != nil {
+		return err
+	}
+	prep, err := sched.Prepare(ls, ed.prep.Problem().Params, ed.opt)
+	if err != nil {
+		return err
+	}
+	ed.prep = prep
+	ed.links = next
+	ed.rebuilds++
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package mobility
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation gates skip under it (instrumentation perturbs
+// allocation counts without reflecting the production binary).
+const raceEnabled = false

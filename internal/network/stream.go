@@ -1,0 +1,162 @@
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Streaming-session wire types: the line-delimited JSON frames a
+// scheduling session exchanges with schedd after registering a link
+// set. The client streams SessionEvent frames (one JSON object per
+// line) and receives SessionDelta frames the same way; both carry an
+// explicit version so the protocol can evolve without silently
+// misreading old peers.
+//
+// Indexing contract: events address links by their current index in
+// the session's link list. A remove splices the list — the removed
+// index disappears and every link above it shifts down by one — and
+// all subsequent frames (in both directions) use the post-removal
+// indexing. An add appends, so the new link's index is the new n−1 and
+// existing indices are stable.
+
+// SessionWireVersion is the current session event/delta wire version.
+// Frames with v omitted (0) are read as the current version; frames
+// with any other value are rejected, so a future incompatible revision
+// can never be half-understood.
+const SessionWireVersion = 1
+
+// Session event types.
+const (
+	// EventMove repositions link Link: a non-nil Sender and/or
+	// Receiver replaces the corresponding endpoint (a nil one keeps
+	// its current position).
+	EventMove = "move"
+	// EventAdd appends the link in Add to the instance.
+	EventAdd = "add"
+	// EventRemove splices link Link out of the instance.
+	EventRemove = "remove"
+	// EventRetune changes the session's target success probability ε
+	// to Eps, keeping the interference field (ε never enters the
+	// stored factors — see sched.Prepared.Derive).
+	EventRetune = "retune"
+)
+
+// SessionEvent is one client→server frame on a session event stream.
+type SessionEvent struct {
+	// V is the wire version (0 = current).
+	V int `json:"v,omitempty"`
+	// Type selects the event ("move", "add", "remove", "retune").
+	Type string `json:"type"`
+	// Link is the target link index for move and remove.
+	Link int `json:"link,omitempty"`
+	// Sender and Receiver are the replacement endpoints for move; a
+	// nil pointer keeps the current position.
+	Sender   *geom.Point `json:"sender,omitempty"`
+	Receiver *geom.Point `json:"receiver,omitempty"`
+	// Add is the link appended by an add event.
+	Add *Link `json:"add,omitempty"`
+	// Eps is the new target success probability for retune.
+	Eps float64 `json:"eps,omitempty"`
+}
+
+// Validate checks the frame structurally against an instance of n
+// links: version, known type, target index in range, and the payload
+// the type requires. Geometric validity (finite coordinates, distinct
+// endpoints) is the applier's job — it revalidates through NewLinkSet
+// so a rejected event provably leaves the session untouched.
+func (e *SessionEvent) Validate(n int) error {
+	if e.V != 0 && e.V != SessionWireVersion {
+		return fmt.Errorf("unsupported event version %d (speak v%d)", e.V, SessionWireVersion)
+	}
+	switch e.Type {
+	case EventMove:
+		if e.Link < 0 || e.Link >= n {
+			return fmt.Errorf("move: link %d out of range [0,%d)", e.Link, n)
+		}
+		if e.Sender == nil && e.Receiver == nil {
+			return fmt.Errorf("move: need a sender and/or receiver position")
+		}
+	case EventRemove:
+		if e.Link < 0 || e.Link >= n {
+			return fmt.Errorf("remove: link %d out of range [0,%d)", e.Link, n)
+		}
+	case EventAdd:
+		if e.Add == nil {
+			return fmt.Errorf("add: missing link payload")
+		}
+	case EventRetune:
+		if !(e.Eps > 0 && e.Eps < 1) {
+			return fmt.Errorf("retune: eps %v outside (0,1)", e.Eps)
+		}
+	case "":
+		return fmt.Errorf("missing event type (have %s, %s, %s, %s)",
+			EventMove, EventAdd, EventRemove, EventRetune)
+	default:
+		return fmt.Errorf("unknown event type %q (have %s, %s, %s, %s)",
+			e.Type, EventMove, EventAdd, EventRemove, EventRetune)
+	}
+	return nil
+}
+
+// DecodeSessionEvent parses one event frame strictly: unknown fields
+// and trailing data are rejected, so a client typo ("snder") fails
+// loudly instead of silently applying a partial event.
+func DecodeSessionEvent(line []byte) (SessionEvent, error) {
+	var e SessionEvent
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&e); err != nil {
+		return SessionEvent{}, err
+	}
+	if dec.More() {
+		return SessionEvent{}, fmt.Errorf("trailing data after event frame")
+	}
+	return e, nil
+}
+
+// SessionDelta is one server→client frame: the schedule change caused
+// by one applied event, or a per-event error. Applied deltas carry a
+// monotonically increasing Seq (the initial registration solve is seq
+// 0, the first event seq 1); a client that reconnects resumes by
+// replaying deltas with seq greater than the last one it processed.
+// Error deltas report the rejected event without advancing Seq and are
+// not replayable — state did not change.
+type SessionDelta struct {
+	// V is the wire version (always written; see SessionWireVersion).
+	V int `json:"v"`
+	// Seq is the session sequence number after this event.
+	Seq uint64 `json:"seq"`
+	// Event echoes the applied event's type.
+	Event string `json:"event,omitempty"`
+	// N is the instance size after the event.
+	N int `json:"n"`
+	// Entered and Left are the links that joined and dropped out of
+	// the schedule, ascending, in the post-event indexing.
+	Entered []int `json:"entered"`
+	Left    []int `json:"left"`
+	// Throughput is the objective value of the re-solved schedule.
+	Throughput float64 `json:"throughput"`
+	// Error reports a rejected event (Seq did not advance).
+	Error string `json:"error,omitempty"`
+}
+
+// DecodeSessionDelta parses one delta frame strictly (client side of
+// DecodeSessionEvent).
+func DecodeSessionDelta(line []byte) (SessionDelta, error) {
+	var d SessionDelta
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return SessionDelta{}, err
+	}
+	if dec.More() {
+		return SessionDelta{}, fmt.Errorf("trailing data after delta frame")
+	}
+	if d.V != SessionWireVersion {
+		return SessionDelta{}, fmt.Errorf("unsupported delta version %d (speak v%d)", d.V, SessionWireVersion)
+	}
+	return d, nil
+}

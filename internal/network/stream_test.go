@@ -1,0 +1,144 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestDecodeSessionEvent covers the strict frame parser: valid frames
+// of every type, unknown fields, trailing data, and version gates.
+func TestDecodeSessionEvent(t *testing.T) {
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string // substring, "" = success
+		check   func(t *testing.T, e SessionEvent)
+	}{
+		{
+			name: "move both endpoints",
+			line: `{"type":"move","link":3,"sender":{"X":1,"Y":2},"receiver":{"X":3,"Y":4}}`,
+			check: func(t *testing.T, e SessionEvent) {
+				if e.Type != EventMove || e.Link != 3 {
+					t.Fatalf("decoded %+v", e)
+				}
+				if e.Sender == nil || *e.Sender != (geom.Point{X: 1, Y: 2}) {
+					t.Fatalf("sender %+v", e.Sender)
+				}
+				if e.Receiver == nil || *e.Receiver != (geom.Point{X: 3, Y: 4}) {
+					t.Fatalf("receiver %+v", e.Receiver)
+				}
+			},
+		},
+		{
+			name: "explicit current version",
+			line: `{"v":1,"type":"retune","eps":0.05}`,
+			check: func(t *testing.T, e SessionEvent) {
+				if e.V != SessionWireVersion || e.Eps != 0.05 {
+					t.Fatalf("decoded %+v", e)
+				}
+			},
+		},
+		{
+			name: "add",
+			line: `{"type":"add","add":{"sender":{"X":0,"Y":0},"receiver":{"X":1,"Y":0},"rate":1,"power":1}}`,
+			check: func(t *testing.T, e SessionEvent) {
+				if e.Add == nil || e.Add.Receiver != (geom.Point{X: 1, Y: 0}) {
+					t.Fatalf("decoded %+v", e)
+				}
+			},
+		},
+		{name: "unknown field", line: `{"type":"move","link":0,"snder":{"X":1,"Y":2}}`, wantErr: "unknown field"},
+		{name: "trailing data", line: `{"type":"remove","link":1}{"type":"remove","link":2}`, wantErr: "trailing data"},
+		{name: "not json", line: `move 3 to (1,2)`, wantErr: "invalid character"},
+		{name: "wrong type shape", line: `{"type":"move","link":"three"}`, wantErr: "cannot unmarshal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := DecodeSessionEvent([]byte(tc.line))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			tc.check(t, e)
+		})
+	}
+}
+
+// TestSessionEventValidate exercises the structural checks against an
+// instance of n links.
+func TestSessionEventValidate(t *testing.T) {
+	pt := func(x, y float64) *geom.Point { return &geom.Point{X: x, Y: y} }
+	l := &Link{Sender: geom.Point{}, Receiver: geom.Point{X: 1}, Rate: 1, Power: 1}
+	cases := []struct {
+		name    string
+		ev      SessionEvent
+		n       int
+		wantErr string
+	}{
+		{"move ok", SessionEvent{Type: EventMove, Link: 2, Sender: pt(1, 1)}, 4, ""},
+		{"move out of range", SessionEvent{Type: EventMove, Link: 4, Sender: pt(1, 1)}, 4, "out of range"},
+		{"move negative", SessionEvent{Type: EventMove, Link: -1, Sender: pt(1, 1)}, 4, "out of range"},
+		{"move no endpoints", SessionEvent{Type: EventMove, Link: 0}, 4, "sender and/or receiver"},
+		{"remove ok", SessionEvent{Type: EventRemove, Link: 3}, 4, ""},
+		{"remove out of range", SessionEvent{Type: EventRemove, Link: 9}, 4, "out of range"},
+		{"add ok", SessionEvent{Type: EventAdd, Add: l}, 4, ""},
+		{"add missing payload", SessionEvent{Type: EventAdd}, 4, "missing link"},
+		{"retune ok", SessionEvent{Type: EventRetune, Eps: 0.2}, 4, ""},
+		{"retune zero", SessionEvent{Type: EventRetune, Eps: 0}, 4, "outside (0,1)"},
+		{"retune one", SessionEvent{Type: EventRetune, Eps: 1}, 4, "outside (0,1)"},
+		{"missing type", SessionEvent{}, 4, "missing event type"},
+		{"unknown type", SessionEvent{Type: "teleport"}, 4, "unknown event type"},
+		{"future version", SessionEvent{V: 2, Type: EventRemove, Link: 0}, 4, "unsupported event version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.ev.Validate(tc.n)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeSessionDelta covers the client-side parser, in particular
+// the version gate: deltas always carry an explicit v, so v=0 (absent)
+// is itself a protocol error.
+func TestDecodeSessionDelta(t *testing.T) {
+	good := `{"v":1,"seq":7,"event":"move","n":10,"entered":[1],"left":[4],"throughput":3.5}`
+	d, err := DecodeSessionDelta([]byte(good))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Seq != 7 || d.Event != EventMove || d.N != 10 || d.Throughput != 3.5 {
+		t.Fatalf("decoded %+v", d)
+	}
+	if len(d.Entered) != 1 || d.Entered[0] != 1 || len(d.Left) != 1 || d.Left[0] != 4 {
+		t.Fatalf("decoded sets %+v", d)
+	}
+
+	for name, line := range map[string]string{
+		"missing version": `{"seq":7,"n":10,"entered":[],"left":[],"throughput":0}`,
+		"future version":  `{"v":2,"seq":7,"n":10,"entered":[],"left":[],"throughput":0}`,
+		"unknown field":   `{"v":1,"seq":7,"n":10,"entered":[],"left":[],"throughput":0,"extra":1}`,
+		"trailing data":   `{"v":1,"seq":7,"n":10,"entered":[],"left":[],"throughput":0} 1`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeSessionDelta([]byte(line)); err == nil {
+				t.Fatalf("decoded %s frame without error", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,59 @@
+package sched
+
+// DiffSchedules computes the symmetric difference between two
+// activation sets: entered lists the links in next but not prev, left
+// the links in prev but not next. Both inputs must be ascending (the
+// Schedule invariant); both outputs are ascending. It is the schedule
+// half of the streaming-session delta protocol — a client holding prev
+// reconstructs next exactly as (prev ∪ entered) \ left.
+func DiffSchedules(prev, next []int) (entered, left []int) {
+	return DiffSchedulesInto(prev, next, nil, nil)
+}
+
+// DiffSchedulesInto is DiffSchedules with caller-provided result
+// buffers: entered and left are appended into enteredBuf[:0] and
+// leftBuf[:0], growing them only when capacity is short. Reusing the
+// previous event's buffers makes steady-state delta computation
+// allocation-free — the per-event counterpart of ScheduleInto.
+func DiffSchedulesInto(prev, next []int, enteredBuf, leftBuf []int) (entered, left []int) {
+	entered, left = enteredBuf[:0], leftBuf[:0]
+	i, j := 0, 0
+	for i < len(prev) && j < len(next) {
+		switch {
+		case prev[i] == next[j]:
+			i++
+			j++
+		case prev[i] < next[j]:
+			left = append(left, prev[i])
+			i++
+		default:
+			entered = append(entered, next[j])
+			j++
+		}
+	}
+	left = append(left, prev[i:]...)
+	entered = append(entered, next[j:]...)
+	return entered, left
+}
+
+// RenumberAfterRemove rewrites an ascending link-index set after link r
+// was removed from the instance: r itself is dropped, and every index
+// above r shifts down by one, mirroring the slice splice the removal
+// performed on the link list. It operates in place and returns the
+// (possibly shortened) slice. Session deltas spanning a remove event
+// are expressed in the post-removal indexing, so both ends of the
+// stream renumber with this before diffing.
+func RenumberAfterRemove(active []int, r int) []int {
+	out := active[:0]
+	for _, v := range active {
+		switch {
+		case v == r:
+			// dropped with the link
+		case v > r:
+			out = append(out, v-1)
+		default:
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDiffSchedules drives the merge-walk over a table of ascending
+// active-set pairs, including the degenerate empty and disjoint cases.
+func TestDiffSchedules(t *testing.T) {
+	cases := []struct {
+		name          string
+		prev, next    []int
+		entered, left []int
+	}{
+		{"both empty", nil, nil, nil, nil},
+		{"identical", []int{1, 3, 5}, []int{1, 3, 5}, nil, nil},
+		{"all entered", nil, []int{0, 2}, []int{0, 2}, nil},
+		{"all left", []int{0, 2}, nil, nil, []int{0, 2}},
+		{"disjoint", []int{0, 2, 4}, []int{1, 3}, []int{1, 3}, []int{0, 2, 4}},
+		{"overlap", []int{0, 1, 4, 7}, []int{1, 2, 7, 9}, []int{2, 9}, []int{0, 4}},
+		{"prev prefix of next", []int{0, 1}, []int{0, 1, 2, 3}, []int{2, 3}, nil},
+		{"next prefix of prev", []int{0, 1, 2, 3}, []int{0, 1}, nil, []int{2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			entered, left := DiffSchedules(tc.prev, tc.next)
+			if !sameInts(entered, tc.entered) || !sameInts(left, tc.left) {
+				t.Fatalf("DiffSchedules(%v, %v) = (%v, %v), want (%v, %v)",
+					tc.prev, tc.next, entered, left, tc.entered, tc.left)
+			}
+		})
+	}
+}
+
+// TestDiffSchedulesIntoReusesBuffers verifies the Into variant appends
+// into the supplied backing arrays instead of allocating, which is what
+// keeps the session hot loop allocation-bounded.
+func TestDiffSchedulesIntoReusesBuffers(t *testing.T) {
+	enteredBuf := make([]int, 0, 8)
+	leftBuf := make([]int, 0, 8)
+	prev := []int{0, 2, 4}
+	next := []int{1, 2, 5}
+	allocs := testing.AllocsPerRun(100, func() {
+		e, l := DiffSchedulesInto(prev, next, enteredBuf, leftBuf)
+		if len(e) != 2 || len(l) != 2 {
+			t.Fatalf("diff = (%v, %v)", e, l)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("DiffSchedulesInto allocated %.1f times per run with adequate buffers", allocs)
+	}
+
+	e, l := DiffSchedulesInto(prev, next, enteredBuf, leftBuf)
+	if &e[0] != &enteredBuf[:1][0] || &l[0] != &leftBuf[:1][0] {
+		t.Fatalf("results not backed by the supplied buffers")
+	}
+}
+
+// TestRenumberAfterRemove covers the index rewrite a client (or the
+// server's own baseline) applies to a schedule when a link is spliced
+// out of the instance.
+func TestRenumberAfterRemove(t *testing.T) {
+	cases := []struct {
+		name   string
+		active []int
+		r      int
+		want   []int
+	}{
+		{"empty", nil, 0, nil},
+		{"removed not scheduled, below all", []int{3, 5}, 1, []int{2, 4}},
+		{"removed not scheduled, above all", []int{0, 1}, 7, []int{0, 1}},
+		{"removed scheduled first", []int{2, 4, 6}, 2, []int{3, 5}},
+		{"removed scheduled middle", []int{0, 3, 8}, 3, []int{0, 7}},
+		{"removed scheduled last", []int{0, 3, 8}, 8, []int{0, 3}},
+		{"only member", []int{5}, 5, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := append([]int(nil), tc.active...)
+			got := RenumberAfterRemove(in, tc.r)
+			if !sameInts(got, tc.want) {
+				t.Fatalf("RenumberAfterRemove(%v, %d) = %v, want %v", tc.active, tc.r, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRenumberAfterRemoveInPlace confirms the rewrite reuses the
+// input's backing array (the session keeps its active buffer).
+func TestRenumberAfterRemoveInPlace(t *testing.T) {
+	in := []int{0, 3, 8}
+	got := RenumberAfterRemove(in, 3)
+	if len(got) == 0 || &got[0] != &in[0] {
+		t.Fatalf("rewrite moved off the input's backing array")
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || reflect.DeepEqual(a, b)
+}

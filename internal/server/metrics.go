@@ -58,6 +58,13 @@ type Metrics struct {
 	prepSize   *obs.Gauge
 	batchSizes *obs.Histogram
 
+	sessActive   *obs.Gauge
+	sessOpened   *obs.Counter
+	sessEvents   *obs.Counter
+	sessRejected *obs.Counter
+	sessDeltas   *obs.Counter
+	sessLatency  *obs.Histogram
+
 	mu     sync.Mutex
 	byCode map[int]*obs.Counter
 
@@ -87,6 +94,15 @@ func NewMetrics() *Metrics {
 		prepSize:  reg.Gauge("schedd_prepared_cache_size", "Prepared fields currently resident."),
 		batchSizes: reg.Histogram("schedd_batch_configs", "Solve configs per /v1/solve/batch request.",
 			[]float64{1, 2, 4, 8, 16, 32, 64}),
+		sessActive: reg.Gauge("schedd_sessions_active", "Streaming sessions currently open."),
+		sessOpened: reg.Counter("schedd_sessions_opened_total", "Streaming sessions registered."),
+		sessEvents: reg.Counter("schedd_session_events_total",
+			"Session events applied (geometry/parameter changes that advanced a session's sequence)."),
+		sessRejected: reg.Counter("schedd_session_events_rejected_total",
+			"Session events rejected without changing state (malformed, out of range, invalid geometry)."),
+		sessDeltas: reg.Counter("schedd_session_deltas_total", "Schedule deltas streamed to session clients."),
+		sessLatency: reg.Histogram("schedd_session_event_seconds",
+			"Per-event apply latency in seconds (decode to delta encoded).", nil),
 		byCode: map[int]*obs.Counter{},
 	}
 	reg.GaugeFunc("schedd_goroutines", "Live goroutines in the process.",
@@ -110,6 +126,9 @@ func NewMetrics() *Metrics {
 	m.vars.Set("prepared_builds", expvar.Func(func() interface{} { return m.prepBuilds.Value() }))
 	m.vars.Set("prepared_evictions", expvar.Func(func() interface{} { return m.prepEvict.Value() }))
 	m.vars.Set("prepared_size", expvar.Func(func() interface{} { return m.prepSize.Value() }))
+	m.vars.Set("sessions_active", expvar.Func(func() interface{} { return m.sessActive.Value() }))
+	m.vars.Set("session_events", expvar.Func(func() interface{} { return m.sessEvents.Value() }))
+	m.vars.Set("session_deltas", expvar.Func(func() interface{} { return m.sessDeltas.Value() }))
 	m.vars.Set("obs", reg.Expvar())
 	return m
 }
@@ -189,6 +208,45 @@ func (m *Metrics) PreparedEvictions() int64 { return m.prepEvict.Value() }
 
 // BatchObserved records one batch request's config count.
 func (m *Metrics) BatchObserved(configs int) { m.batchSizes.Observe(float64(configs)) }
+
+// Streaming-session accounting (see internal/server/session.go).
+// SessionOpened/SessionClosed drive the active gauge; closes are
+// additionally counted under their reason ("client", "ttl", "drain",
+// "error") so operators can tell voluntary teardown from eviction.
+func (m *Metrics) SessionOpened() {
+	m.sessOpened.Inc()
+	m.sessActive.Add(1)
+}
+
+func (m *Metrics) SessionClosed(reason string) {
+	m.sessActive.Add(-1)
+	m.reg.Counter("schedd_sessions_closed_total", "Streaming sessions closed, by reason.",
+		obs.Label{Key: "reason", Value: reason}).Inc()
+}
+
+// SessionEvent records one applied event: its type-labeled count, the
+// unlabeled total (the counter tests and operators diff against
+// prepared_builds to prove moves skip the O(n²) rebuild), and the
+// apply latency.
+func (m *Metrics) SessionEvent(typ string, elapsed time.Duration) {
+	m.sessEvents.Inc()
+	m.reg.Counter("schedd_session_events_by_type_total", "Session events applied, by event type.",
+		obs.Label{Key: "type", Value: typ}).Inc()
+	m.sessLatency.Observe(elapsed.Seconds())
+}
+
+// SessionEventRejected counts an event that changed nothing.
+func (m *Metrics) SessionEventRejected() { m.sessRejected.Inc() }
+
+// SessionDelta counts one delta frame streamed to a client.
+func (m *Metrics) SessionDelta() { m.sessDeltas.Inc() }
+
+// SessionsActive returns the current gauge value (tests).
+func (m *Metrics) SessionsActive() int64 { return m.sessActive.Value() }
+
+// SessionEvents returns the cumulative applied-event count (tests
+// assert it advances while PreparedBuilds stays flat on move streams).
+func (m *Metrics) SessionEvents() int64 { return m.sessEvents.Value() }
 
 // InFlight returns the current gauge value (used by tests).
 func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }

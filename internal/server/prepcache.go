@@ -31,13 +31,18 @@ type prepCache struct {
 
 // prepEntry is one cached field. build is set by the creating request
 // and executed exactly once, under once, by whichever caller gets
-// there first.
+// there first. pins > 0 marks the entry as owned by a live streaming
+// session: LRU pressure skips pinned entries, because evicting one
+// would not free its field (the session still holds it) — it would
+// only make the cache lie about what is resident and rebuild a
+// duplicate on the next lookup.
 type prepEntry struct {
 	key   cacheKey
 	once  sync.Once
 	build func() (*sched.Prepared, error)
 	prep  *sched.Prepared
 	err   error
+	pins  int
 }
 
 func (e *prepEntry) run() {
@@ -86,12 +91,7 @@ func (c *prepCache) getOrBuild(k cacheKey, build func() (*sched.Prepared, error)
 	}
 	e := &prepEntry{key: k, build: build}
 	c.items[k] = c.ll.PushFront(e)
-	for c.ll.Len() > c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(*prepEntry).key)
-		c.m.PreparedEviction()
-	}
+	c.evictLocked()
 	c.m.PreparedSize(c.ll.Len())
 	c.mu.Unlock()
 
@@ -103,6 +103,116 @@ func (c *prepCache) getOrBuild(k cacheKey, build func() (*sched.Prepared, error)
 		return nil, e.err
 	}
 	return e.prep, nil
+}
+
+// evictLocked enforces the capacity bound, evicting least-recently-used
+// unpinned entries. Pinned entries are skipped — a cache fully pinned
+// by live sessions may exceed cap transiently; the session registry's
+// own MaxSessions bound is what caps that. Callers hold mu.
+func (c *prepCache) evictLocked() {
+	for c.ll.Len() > c.cap {
+		var victim *list.Element
+		for el := c.ll.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*prepEntry).pins == 0 {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.ll.Remove(victim)
+		delete(c.items, victim.Value.(*prepEntry).key)
+		c.m.PreparedEviction()
+	}
+}
+
+// acquire is getOrBuild for an entry that must stay resident: the
+// entry is created pinned, so it is never LRU-evicted until a matching
+// release. Streaming sessions hold their interference field this way
+// for their whole lifetime — the field is mutated in place by session
+// events (Rebind), so the entry is keyed by a session-unique key and
+// shared with nobody; residency in the cache is what keeps the
+// prepared-field capacity accounting and size gauge truthful while
+// request traffic churns the unpinned tiers around it.
+func (c *prepCache) acquire(k cacheKey, build func() (*sched.Prepared, error)) (*sched.Prepared, error) {
+	if c.cap <= 0 {
+		c.m.PreparedMiss()
+		c.m.PreparedBuild()
+		return build()
+	}
+	c.mu.Lock()
+	if el, ok := c.items[k]; ok {
+		// Session keys are unique, so a hit means a buggy caller
+		// acquired twice; pin anyway and share, which is still safe.
+		e := el.Value.(*prepEntry)
+		e.pins++
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.m.PreparedHit()
+		e.run()
+		if e.err != nil {
+			c.release(k)
+			return nil, e.err
+		}
+		return e.prep, nil
+	}
+	e := &prepEntry{key: k, build: build, pins: 1}
+	c.items[k] = c.ll.PushFront(e)
+	c.evictLocked()
+	c.m.PreparedSize(c.ll.Len())
+	c.mu.Unlock()
+
+	c.m.PreparedMiss()
+	c.m.PreparedBuild()
+	e.run()
+	if e.err != nil {
+		c.release(k)
+		return nil, e.err
+	}
+	return e.prep, nil
+}
+
+// release unpins k and drops the entry outright once no pins remain.
+// Session entries are keyed per session, so after the owning session
+// closes nothing can ever hit the key again — keeping the entry would
+// be dead weight the LRU could only evict blindly.
+func (c *prepCache) release(k cacheKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return
+	}
+	e := el.Value.(*prepEntry)
+	if e.pins > 0 {
+		e.pins--
+	}
+	if e.pins == 0 {
+		c.ll.Remove(el)
+		delete(c.items, k)
+		c.m.PreparedSize(c.ll.Len())
+	}
+}
+
+// replace swaps the prepared handle stored under k (a session event
+// that rebuilt its field — add/remove — hands the new build back so
+// the pinned entry keeps the live field alive, not the stale one).
+func (c *prepCache) replace(k cacheKey, pp *sched.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*prepEntry).prep = pp
+	}
+}
+
+// contains reports residency of k (tests assert pinned entries survive
+// eviction pressure).
+func (c *prepCache) contains(k cacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[k]
+	return ok
 }
 
 // remove drops k's entry iff it still maps to e (a failed build must

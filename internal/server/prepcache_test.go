@@ -203,3 +203,141 @@ func TestPrepCacheDisabled(t *testing.T) {
 		t.Errorf("disabled cache retains %d entries", c.len())
 	}
 }
+
+// TestPrepCachePinnedSkipsEviction covers the acquire/release pin
+// protocol: a pinned entry survives arbitrary LRU pressure, unpinned
+// entries around it still rotate, and release drops the pinned entry
+// outright (session keys are never hit again).
+func TestPrepCachePinnedSkipsEviction(t *testing.T) {
+	m := NewMetrics()
+	c := newPrepCache(2, m)
+	shared := prepFor(t, 20, 5)
+	build := func() (*sched.Prepared, error) { return shared, nil }
+
+	pinnedKey := testKey(100)
+	if _, err := c.acquire(pinnedKey, build); err != nil {
+		t.Fatal(err)
+	}
+	// Push far more traffic than capacity through the unpinned tier.
+	for i := 0; i < 10; i++ {
+		if _, err := c.getOrBuild(testKey(i), build); err != nil {
+			t.Fatal(err)
+		}
+		if !c.contains(pinnedKey) {
+			t.Fatalf("pinned entry evicted after %d unpinned inserts", i+1)
+		}
+	}
+	if n := c.len(); n != 2 {
+		t.Errorf("cache holds %d entries under pressure, want cap 2", n)
+	}
+
+	c.release(pinnedKey)
+	if c.contains(pinnedKey) {
+		t.Fatal("released session entry still resident")
+	}
+	if n := c.len(); n != 1 {
+		t.Errorf("cache holds %d entries after release, want 1", n)
+	}
+}
+
+// TestPrepCacheAllPinnedExceedsCap: when live sessions pin more entries
+// than the LRU capacity, the cache grows past cap rather than evicting
+// an entry a session still owns — MaxSessions, not the LRU, is the
+// bound on that growth. Releases shrink it back down.
+func TestPrepCacheAllPinnedExceedsCap(t *testing.T) {
+	m := NewMetrics()
+	c := newPrepCache(2, m)
+	shared := prepFor(t, 20, 6)
+	build := func() (*sched.Prepared, error) { return shared, nil }
+
+	const pins = 5
+	for i := 0; i < pins; i++ {
+		if _, err := c.acquire(testKey(200+i), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.len(); n != pins {
+		t.Fatalf("fully pinned cache holds %d entries, want %d (cap 2 must stretch)", n, pins)
+	}
+	if n := m.PreparedEvictions(); n != 0 {
+		t.Fatalf("%d evictions despite every entry being pinned", n)
+	}
+	for i := 0; i < pins; i++ {
+		c.release(testKey(200 + i))
+	}
+	if n := c.len(); n != 0 {
+		t.Fatalf("cache holds %d entries after all releases, want 0", n)
+	}
+}
+
+// TestPrepCacheAcquireRefcounts checks double-acquire on one key needs
+// two releases before the entry drops (pins are a refcount, not a bit).
+func TestPrepCacheAcquireRefcounts(t *testing.T) {
+	m := NewMetrics()
+	c := newPrepCache(4, m)
+	shared := prepFor(t, 20, 7)
+	build := func() (*sched.Prepared, error) { return shared, nil }
+
+	k := testKey(300)
+	if _, err := c.acquire(k, build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.acquire(k, build); err != nil {
+		t.Fatal(err)
+	}
+	c.release(k)
+	if !c.contains(k) {
+		t.Fatal("entry dropped with one pin still held")
+	}
+	c.release(k)
+	if c.contains(k) {
+		t.Fatal("entry resident after final release")
+	}
+	// Releasing an unknown key is a harmless no-op.
+	c.release(testKey(301))
+}
+
+// TestPrepCacheReplaceSwapsHandle checks replace points a pinned entry
+// at a new prepared handle (the add/remove rebuild path) and ignores
+// unknown keys.
+func TestPrepCacheReplaceSwapsHandle(t *testing.T) {
+	m := NewMetrics()
+	c := newPrepCache(4, m)
+	first := prepFor(t, 20, 8)
+	second := prepFor(t, 22, 9)
+
+	k := testKey(400)
+	if _, err := c.acquire(k, func() (*sched.Prepared, error) { return first, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.replace(k, second)
+	got, err := c.acquire(k, func() (*sched.Prepared, error) { return nil, errors.New("must not rebuild") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != second {
+		t.Fatal("acquire after replace returned the stale handle")
+	}
+	c.replace(testKey(401), first) // unknown key: no-op, no panic
+	c.release(k)
+	c.release(k)
+}
+
+// TestPrepCacheAcquireBuildFailure checks a failed pinned build leaves
+// no residue: the key is absent and a retry rebuilds.
+func TestPrepCacheAcquireBuildFailure(t *testing.T) {
+	m := NewMetrics()
+	c := newPrepCache(4, m)
+	shared := prepFor(t, 20, 10)
+	boom := errors.New("bad links")
+	if _, err := c.acquire(testKey(500), func() (*sched.Prepared, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c.len() != 0 {
+		t.Fatalf("failed acquire left %d entries", c.len())
+	}
+	if _, err := c.acquire(testKey(500), func() (*sched.Prepared, error) { return shared, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.release(testKey(500))
+}

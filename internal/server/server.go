@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,6 +43,18 @@ type Config struct {
 	// (0 = 30s); MaxTimeout clamps what a request may ask for (0 = 2m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// MaxSessions bounds concurrently open streaming sessions (0 = 256,
+	// negative disables sessions: every create gets 429). Each session
+	// pins one prepared field for its lifetime, so this also bounds how
+	// far session load can stretch the prepared cache past its LRU cap.
+	MaxSessions int
+	// SessionTTL evicts sessions with no applied event and no live
+	// stream for this long (0 = 5m).
+	SessionTTL time.Duration
+	// SessionReplay is the per-session delta replay window in frames
+	// (0 = 4096). A client resuming from a seq older than the window
+	// gets 410 and must re-register.
+	SessionReplay int
 	// Logger receives structured access and solve logs; every record
 	// carries the request's trace_id. Nil discards everything, which
 	// keeps library users and tests silent by default.
@@ -70,6 +83,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	} else if c.MaxSessions < 0 {
+		c.MaxSessions = 0
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
+	}
+	if c.SessionReplay <= 0 {
+		c.SessionReplay = 4096
+	}
 	return c
 }
 
@@ -85,6 +109,18 @@ type Server struct {
 	metrics *Metrics
 	log     *slog.Logger
 	mux     *http.ServeMux
+
+	// Streaming-session registry (session.go). sessCtx is canceled by
+	// Close to unblock live event streams and long-polls before the
+	// HTTP server's own graceful Shutdown waits on them.
+	sessMu       sync.Mutex
+	sessions     map[string]*session
+	sessReserved int
+	sessClosed   bool
+	sessCtx      context.Context
+	sessCancel   context.CancelFunc
+	closeOnce    sync.Once
+	janitorDone  chan struct{}
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -101,6 +137,10 @@ func New(cfg Config) *Server {
 	if s.log == nil {
 		s.log = obs.Discard()
 	}
+	s.sessions = make(map[string]*session)
+	s.sessCtx, s.sessCancel = context.WithCancel(context.Background())
+	s.janitorDone = make(chan struct{})
+	go s.sessionJanitor()
 	reg := s.metrics.Registry()
 	reg.GaugeFunc("schedd_pool_capacity", "Worker-pool slot count.",
 		func() float64 { return float64(s.pool.capacity()) })
@@ -113,6 +153,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/solve/batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/traffic", s.handleTraffic)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/session/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("GET /v1/session/{id}/deltas", s.handleSessionDeltas)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -125,6 +170,44 @@ func New(cfg Config) *Server {
 // Metrics exposes the server's counters (cmd/schedd publishes them
 // into the global expvar registry; tests read them directly).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close drains the streaming-session layer: no new sessions are
+// admitted, every open session is closed (reason "drain"), live event
+// streams and long-polls unblock, and the janitor stops. It is
+// idempotent and must run before http.Server.Shutdown so graceful
+// drain is not held open by long-lived session requests. Stateless
+// endpoints keep working after Close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.sessCancel()
+		s.sessMu.Lock()
+		s.sessClosed = true
+		open := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			open = append(open, sess)
+		}
+		s.sessMu.Unlock()
+		for _, sess := range open {
+			s.closeSession(sess, "drain")
+		}
+		<-s.janitorDone
+	})
+}
+
+// sessionJanitor periodically evicts idle sessions until Close.
+func (s *Server) sessionJanitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(janitorInterval(s.cfg.SessionTTL))
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sessCtx.Done():
+			return
+		case now := <-t.C:
+			s.sweepSessions(now)
+		}
+	}
+}
 
 // ResetCache empties the result cache. Benchmarks use it to measure
 // the cold path; operators can curl it away via a restart instead, so
@@ -184,6 +267,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.NewResponseController reach through to the real
+// writer for Flush and EnableFullDuplex — without it the streaming
+// session endpoints could never push their headers or delta frames.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{"algorithms": sched.Names()})

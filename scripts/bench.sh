@@ -1,14 +1,15 @@
 #!/bin/sh
 # bench.sh — run the repository performance suite and emit a
-# machine-readable record (BENCH_PR7.json by default): ns/op, B/op, and
+# machine-readable record (BENCH_PR8.json by default): ns/op, B/op, and
 # allocs/op for the figure-regeneration bench (Fig 5a),
 # interference-field construction, cold-build vs warm-prepared solves,
 # the schedd end-to-end paths (cold / prepared-field /
-# response-cache-warm / batch), and the traffic engine (per-slot cost
-# plus the ≥1M-packet n=5000 throughput run with its packets/sec
-# metric).
+# response-cache-warm / batch), the traffic engine (per-slot cost plus
+# the ≥1M-packet n=5000 throughput run with its packets/sec metric),
+# and the streaming-session event loop at n=2000 (events/sec plus
+# p99-ns/event move→delta latency over the live HTTP stream).
 #
-#   scripts/bench.sh              full run, writes BENCH_PR7.json
+#   scripts/bench.sh              full run, writes BENCH_PR8.json
 #   scripts/bench.sh -quick       1-iteration smoke (check.sh uses this)
 #   scripts/bench.sh -o out.json  choose the output path
 #
@@ -22,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR7.json
+out=BENCH_PR8.json
 benchtime=${BENCHTIME:-1s}
 buildbenchtime=3s
 quick=0
@@ -64,14 +65,14 @@ run() { # run <package> <bench regex> [benchtime]
 
 if [ "$quick" = 1 ]; then
     run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
-    run ./internal/server/ 'BenchmarkSolveBatch$'
+    run ./internal/server/ 'BenchmarkSolveBatch$|BenchmarkSessionEvents$'
     run ./internal/traffic/ 'BenchmarkEngineStep$'
 else
     run . 'BenchmarkFig5a$'
     # Field builds get a fixed multi-iteration budget (see header).
     run . 'BenchmarkNewProblem$' "$buildbenchtime"
     run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
-    run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$'
+    run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$|BenchmarkSessionEvents$'
     run ./internal/traffic/ 'BenchmarkEngineStep$|BenchmarkEngineThroughput$'
 fi
 

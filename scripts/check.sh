@@ -44,6 +44,15 @@ echo "== prepared zero-alloc gate"
 # detector instruments allocations), so this is the run that counts.
 go test -run 'TestPreparedSolveZeroAllocs|TestPreparedConcurrent' -count=1 ./internal/sched/
 
+echo "== session stream gate"
+# The streaming-session layer uncached under -race: the per-event
+# differential oracle, the byte-exact resume/replay contract, TTL and
+# drain lifecycle, and the pinned-Prepared cache-pressure regression.
+# The fuzz pass then walks the same full HTTP event path for a few
+# seconds with the seeded differential corpus.
+go test -race -run 'TestSession|TestPrepCache' -count=1 ./internal/server/
+go test -fuzz FuzzSessionEvents -fuzztime 5s -run '^$' ./internal/server/
+
 echo "== traffic engine race pass"
 # The traffic engine suite uncached under -race: the determinism,
 # differential-vs-legacy, and truncation tests all run here.
