@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full test-stream bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke
+.PHONY: check test test-full test-stream bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke trace-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -34,9 +34,10 @@ bench-field:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem$$' -benchtime 3s -count=1 .
 	$(GO) test -run '^$$' -bench 'BenchmarkLog1pPos$$|BenchmarkLog1pStdlib$$|BenchmarkHalfPow' -count=1 ./internal/mathx/
 
-## bench-json: the full performance suite → BENCH_PR8.json
-## (Fig 5a, field build, cold vs warm-prepared solve, schedd
-## end-to-end, traffic engine, streaming-session event loop)
+## bench-json: the full performance suite → BENCH_PR9.json
+## (Fig 5a, field build, cold vs warm-prepared solve traced and
+## untraced, schedd end-to-end, traffic engine, streaming-session
+## event loop, span-lifecycle overhead)
 bench-json:
 	sh scripts/bench.sh
 
@@ -61,9 +62,16 @@ serve-smoke:
 metrics-smoke:
 	$(GO) test -race -run TestMetricsSmoke -count=1 -v ./cmd/schedd/
 
-## bench-obs: tracer overhead (disabled path must stay 0 allocs/op)
+## trace-smoke: boot schedd, drive a traced solve and a session event,
+## assert /debug/requests retains the field-build and solver spans and
+## the per-trace export is loadable trace_event JSON
+trace-smoke:
+	$(GO) test -race -run TestTraceSmoke -count=1 -v ./cmd/schedd/
+
+## bench-obs: tracer and span overhead (disabled tracer and warm span
+## lifecycle must both stay 0 allocs/op)
 bench-obs:
-	$(GO) test -run '^$$' -bench 'BenchmarkTracer' ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkTracer|BenchmarkSpan' ./internal/obs/
 
 ## fuzz: a short fuzzing pass over the sparse-safety, fast-pow, and
 ## decoder targets

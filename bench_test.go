@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	fadingrls "repro"
+	"repro/internal/obs"
 )
 
 // benchOpts is the reduced per-iteration budget: 6 instances × 50
@@ -342,6 +343,44 @@ func BenchmarkSolveWarmPrepared(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		buf = s.Active[:0]
+		links = s.Len()
+	}
+	b.ReportMetric(float64(links), "links")
+}
+
+// BenchmarkSolveWarmTraced is BenchmarkSolveWarmPrepared under the full
+// per-request tracing harness schedd runs: every iteration takes a
+// pooled trace from obs, opens the solve span with an attached phase
+// tracer, solves, finishes the trace, and offers it to a flight
+// recorder (which samples a few and recycles the rest). The ns/op
+// delta against BenchmarkSolveWarmPrepared is the span-overhead
+// acceptance gate: ≤5% at n=2000.
+func BenchmarkSolveWarmTraced(b *testing.B) {
+	b.ReportAllocs()
+	ls := benchLinks(b, 2000)
+	prep, err := fadingrls.Prepare(ls, fadingrls.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := obs.NewRecorder(obs.RecorderConfig{Capacity: 8, SampleEvery: 64})
+	var buf []int
+	var links int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace := obs.NewTrace("beefbeefbeefbeef", "POST /v1/solve")
+		ctx := obs.ContextWithSpan(context.Background(), trace.Root())
+		solveSp := obs.SpanFrom(ctx).Child("solve")
+		solveSp.SetInt("links", int64(ls.Len()))
+		tr := obs.NewTracer().AttachSpan(solveSp)
+		sctx := obs.WithTracer(obs.ContextWithSpan(ctx, solveSp), tr)
+		s, err := prep.ScheduleInto(sctx, fadingrls.RLE{}, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		solveSp.End()
+		trace.Finish(200)
+		rec.Record(trace)
 		buf = s.Active[:0]
 		links = s.Len()
 	}

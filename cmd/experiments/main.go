@@ -48,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		field     = fs.String("field", "dense", "interference backend for every sweep problem: dense or sparse")
 		cutoff    = fs.Float64("cutoff", 0, "sparse backend truncation cutoff (0 = default)")
 		verbose   = fs.Bool("v", false, "log per-experiment progress (start, duration) to the output stream")
+		traceOut  = fs.String("trace-out", "", "write a span trace of the run (one span per experiment) as Chrome trace_event JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,10 +94,19 @@ func run(args []string, out io.Writer) error {
 		field: *field, cutoff: *cutoff,
 		log: logger,
 	}
+	var spanTrace *obs.Trace
+	if *traceOut != "" {
+		spanTrace = obs.NewTraceCap(obs.NewTraceID(), "experiments", 1<<12)
+	}
 	for _, id := range ids {
 		logger.Info("experiment start", slog.String("id", id),
 			slog.Int("instances", *instances), slog.Int("slots", *slots))
 		start := time.Now()
+		var expSp obs.Span
+		if spanTrace != nil {
+			expSp = spanTrace.Root().Child("experiment")
+			expSp.SetStr("id", id)
+		}
 		switch id {
 		case "ratio":
 			tab, err := fadingrls.RunRatioTable(opts)
@@ -158,8 +168,25 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+		expSp.End()
 		logger.Info("experiment done", slog.String("id", id),
 			obs.DurationSeconds("duration", time.Since(start)))
+	}
+	if spanTrace != nil {
+		spanTrace.Finish(0)
+		snap := spanTrace.Snapshot()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteTraceEvent(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote span trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 	}
 	return nil
 }

@@ -59,8 +59,9 @@ func run(args []string, out io.Writer) error {
 		load = fs.String("load", "", "load instance JSON instead of generating")
 		save = fs.String("save", "", "save the instance JSON and exit")
 
-		verbose = fs.Bool("v", false, "log solve progress (start, duration) to the output stream")
-		trace   = fs.Bool("trace", false, "print each solve's phase timings and algorithm counters")
+		verbose  = fs.Bool("v", false, "log solve progress (start, duration) to the output stream")
+		trace    = fs.Bool("trace", false, "print each solve's phase timings and algorithm counters")
+		traceOut = fs.String("trace-out", "", "write the run's span trace as Chrome trace_event JSON to this file (load in chrome://tracing or Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,7 +116,16 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pr, err := fadingrls.NewProblem(ls, params, fieldOpt)
+	// With -trace-out the whole run records into one span trace — the
+	// field build and each solve (phase spans included) — exported as a
+	// trace_event file at the end.
+	runCtx := context.Background()
+	var spanTrace *obs.Trace
+	if *traceOut != "" {
+		spanTrace = obs.NewTraceCap(obs.NewTraceID(), "fadingsched", 1<<14)
+		runCtx = obs.ContextWithSpan(runCtx, spanTrace.Root())
+	}
+	pr, err := fadingrls.NewProblemContext(runCtx, ls, params, fieldOpt)
 	if err != nil {
 		return err
 	}
@@ -138,15 +148,23 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "%-16s skipped (exact solver caps at 24 links)\n", name)
 			continue
 		}
+		solveSp := obs.SpanFrom(runCtx).Child("solve")
+		if solveSp.Enabled() {
+			solveSp.SetStr("algorithm", name)
+			solveSp.SetInt("links", int64(ls.Len()))
+		}
 		var tr *obs.Tracer
-		ctx := context.Background()
-		if *trace {
-			tr = obs.NewTracer()
+		ctx := runCtx
+		if *trace || solveSp.Enabled() {
+			// The tracer feeds -trace's printed phase table and, attached
+			// to the span, mirrors each phase into the -trace-out file.
+			tr = obs.NewTracer().AttachSpan(solveSp)
 			ctx = obs.WithTracer(ctx, tr)
 		}
 		logger.Info("solve start", slog.String("algorithm", name), slog.Int("links", ls.Len()))
 		solveStart := time.Now()
 		s, err := fadingrls.SolveContext(ctx, name, pr)
+		solveSp.End()
 		if err != nil {
 			return err
 		}
@@ -166,7 +184,13 @@ func run(args []string, out io.Writer) error {
 			printTrace(out, tr.Stats())
 		}
 		if *slots > 0 {
+			mcSp := obs.SpanFrom(runCtx).Child("mc_simulate")
+			if mcSp.Enabled() {
+				mcSp.SetStr("algorithm", name)
+				mcSp.SetInt("slots", int64(*slots))
+			}
 			res, err := fadingrls.Simulate(pr, s, fadingrls.SimConfig{Slots: *slots, Seed: *seed})
+			mcSp.End()
 			if err != nil {
 				return err
 			}
@@ -174,7 +198,29 @@ func run(args []string, out io.Writer) error {
 				"", *slots, res.Failures.String(), res.FailureRate())
 		}
 	}
+	if spanTrace != nil {
+		if err := writeTraceFile(spanTrace, *traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote span trace to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+	}
 	return nil
+}
+
+// writeTraceFile finishes the run trace and exports it as Chrome
+// trace_event JSON.
+func writeTraceFile(t *obs.Trace, path string) error {
+	t.Finish(0)
+	snap := t.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteTraceEvent(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }
 
 // printTrace renders one solve's phase timings and counters under the

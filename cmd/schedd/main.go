@@ -21,7 +21,12 @@
 // debug address additionally serves net/http/pprof and should stay on
 // loopback. Structured access logs (-log-format, -log-level) carry the
 // same per-request trace ID the X-Trace-Id response header reports.
-// SIGINT/SIGTERM drain in-flight solves before exit.
+// Every request is span-traced into a bounded flight recorder
+// (-trace-ring, -trace-sample): GET /debug/requests lists recent and
+// slowest traces, GET /debug/requests/{traceID} exports one as Chrome
+// trace_event JSON (load in chrome://tracing or Perfetto), and
+// GET /debug/state snapshots live sessions, cache residency, and pool
+// occupancy. SIGINT/SIGTERM drain in-flight solves before exit.
 package main
 
 import (
@@ -75,6 +80,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxTO     = fs.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may ask for")
 		maxSess   = fs.Int("max-sessions", 256, "max concurrently open streaming sessions (negative disables sessions)")
 		sessTTL   = fs.Duration("session-ttl", 5*time.Minute, "evict sessions idle (no event, no live stream) this long")
+		traceRing = fs.Int("trace-ring", 128, "flight-recorder capacity in retained request traces (negative disables span tracing)")
+		traceSmpl = fs.Int("trace-sample", 1, "keep every Nth non-outlier trace (negative keeps outliers only; errors and slow requests are always kept)")
 		drain     = fs.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight solves")
 		logFormat = fs.String("log-format", "text", "structured log format: text or json")
 		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -101,6 +108,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxTimeout:        *maxTO,
 		MaxSessions:       *maxSess,
 		SessionTTL:        *sessTTL,
+		TraceRing:         *traceRing,
+		TraceSampleEvery:  *traceSmpl,
 		Logger:            logger,
 	})
 	publishOnce.Do(func() { expvar.Publish("schedd", srv.Metrics().Vars()) })

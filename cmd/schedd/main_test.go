@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"regexp"
 	"strings"
@@ -212,6 +214,203 @@ func TestMetricsSmoke(t *testing.T) {
 
 	if !strings.Contains(out.String(), fmt.Sprintf("%q:%q", "trace_id", traceID)) {
 		t.Errorf("access log missing trace_id %s:\n%s", traceID, out.String())
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("schedd did not shut down within 10s")
+	}
+}
+
+// TestTraceSmoke is the `make trace-smoke` gate: boot schedd, drive a
+// traced n=2000 solve plus one streaming-session event, then read the
+// flight recorder back — /debug/requests must list both traces with
+// their field-build, solver, and session-event spans, and the per-trace
+// endpoint must export nested Chrome trace_event JSON.
+func TestTraceSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-debug-addr", ""}, out)
+	}()
+
+	var apiAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			apiAddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedd never announced its listener; output:\n%s", out.String())
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("schedd exited early: %v\n%s", err, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// A traced solve at n=2000: big enough that the dense field build
+	// and every solver phase record real spans. The client supplies the
+	// trace ID, so the recorder lookup below needs no header plumbing.
+	const solveTrace = "c0ffee00c0ffee00"
+	ls, err := network.Generate(network.PaperConfig(2000), 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := json.Marshal(map[string]interface{}{"algorithm": "rle", "links": ls.Links()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, fmt.Sprintf("http://%s/v1/solve", apiAddr), bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", solveTrace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("solve request failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != solveTrace {
+		t.Fatalf("middleware did not adopt inbound trace ID: got %q", got)
+	}
+
+	// One streaming-session event so the dispatch path records too:
+	// register a small instance, stream a single retune, read the delta.
+	sls, err := network.Generate(network.PaperConfig(16), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessBody, err := json.Marshal(map[string]interface{}{"algorithm": "greedy", "links": sls.Links()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(fmt.Sprintf("http://%s/v1/session", apiAddr), "application/json", bytes.NewReader(sessBody))
+	if err != nil {
+		t.Fatalf("session create failed: %v", err)
+	}
+	var sess struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || sess.SessionID == "" {
+		t.Fatalf("session create: status %d, id %q", resp.StatusCode, sess.SessionID)
+	}
+	pr, pw := io.Pipe()
+	evReq, err := http.NewRequest(http.MethodPost,
+		fmt.Sprintf("http://%s/v1/session/%s/events", apiAddr, sess.SessionID), pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evReq.Header.Set("Content-Type", "application/x-ndjson")
+	evResp, err := http.DefaultClient.Do(evReq)
+	if err != nil {
+		t.Fatalf("event stream failed: %v", err)
+	}
+	defer evResp.Body.Close()
+	if evResp.StatusCode != http.StatusOK {
+		t.Fatalf("event stream status %d", evResp.StatusCode)
+	}
+	if _, err := pw.Write([]byte(`{"type":"retune","eps":0.02}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(evResp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no delta frame: %v", sc.Err())
+	}
+	pw.Close()
+
+	// The recorder must have kept both traces with their span trees.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/requests?n=50", apiAddr))
+	if err != nil {
+		t.Fatalf("debug requests failed: %v", err)
+	}
+	var dbg struct {
+		Recorder struct {
+			Seen int64 `json:"seen"`
+		} `json:"recorder"`
+		Recent []struct {
+			TraceID string `json:"trace_id"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dbg.Recorder.Seen < 2 {
+		t.Fatalf("recorder saw %d traces, want ≥2", dbg.Recorder.Seen)
+	}
+	names := map[string]map[string]bool{}
+	for _, tr := range dbg.Recent {
+		set := map[string]bool{}
+		for _, sp := range tr.Spans {
+			set[sp.Name] = true
+		}
+		names[tr.TraceID] = set
+	}
+	solveSpans, ok := names[solveTrace]
+	if !ok {
+		t.Fatalf("solve trace %s not in recorder; have %v", solveTrace, names)
+	}
+	for _, want := range []string{"field_build", "dense_fill", "solve"} {
+		if !solveSpans[want] {
+			t.Errorf("solve trace missing %q span; have %v", want, solveSpans)
+		}
+	}
+	sessionTraced := false
+	for _, set := range names {
+		if set["session_event"] {
+			sessionTraced = true
+		}
+	}
+	if !sessionTraced {
+		t.Errorf("no retained trace carries a session_event span; have %v", names)
+	}
+
+	// The per-trace export is Chrome trace_event JSON with the nested
+	// complete events chrome://tracing renders.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/requests/%s", apiAddr, solveTrace))
+	if err != nil {
+		t.Fatalf("trace export failed: %v", err)
+	}
+	var export struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	complete := 0
+	for _, ev := range export.TraceEvents {
+		if ev.Ph == "X" {
+			complete++
+		}
+	}
+	if complete < 4 {
+		t.Errorf("trace export has %d complete events, want ≥4: %+v", complete, export.TraceEvents)
 	}
 
 	cancel()

@@ -180,11 +180,24 @@ func NewProblem(ls *LinkSet, p Params, opts ...ProblemOption) (*Problem, error) 
 	return sched.NewProblem(ls, p, opts...)
 }
 
+// NewProblemContext is NewProblem under a context: when ctx carries a
+// trace span (obs.ContextWithSpan) the O(n²) field construction is
+// recorded as nested spans — the backend's fill/build phases included —
+// in that request's trace.
+func NewProblemContext(ctx context.Context, ls *LinkSet, p Params, opts ...ProblemOption) (*Problem, error) {
+	return sched.NewProblemContext(ctx, ls, p, opts...)
+}
+
 // Prepare builds the problem and wraps it in a Prepared handle — the
 // entry point for callers that will solve the same instance more than
 // once (servers, sweeps, mobility re-planning).
 func Prepare(ls *LinkSet, p Params, opts ...ProblemOption) (*Prepared, error) {
 	return sched.Prepare(ls, p, opts...)
+}
+
+// PrepareContext is Prepare under a context (see NewProblemContext).
+func PrepareContext(ctx context.Context, ls *LinkSet, p Params, opts ...ProblemOption) (*Prepared, error) {
+	return sched.PrepareContext(ctx, ls, p, opts...)
 }
 
 // NewPrepared wraps an existing problem in a Prepared handle.

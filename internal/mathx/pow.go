@@ -32,6 +32,29 @@ const (
 	PowDD
 )
 
+// String names the evaluation strategy for diagnostics (field-build
+// trace spans report which pow specialization a build ran on).
+func (k PowKind) String() string {
+	switch k {
+	case PowGeneric:
+		return "generic"
+	case PowX:
+		return "x"
+	case PowXSqrtX:
+		return "x_sqrt_x"
+	case PowX2:
+		return "x2"
+	case PowX3:
+		return "x3"
+	case PowSqrt:
+		return "sqrt"
+	case PowDD:
+		return "dd"
+	default:
+		return "unknown"
+	}
+}
+
 // HalfPow evaluates x^{α/2} for a fixed exponent α, specialized at
 // construction. The half exponent is the natural form for interference
 // kernels: path loss needs d^{-α}, the kernels have d² (no sqrt was

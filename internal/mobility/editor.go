@@ -1,10 +1,12 @@
 package mobility
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -73,15 +75,43 @@ func (ed *Editor) Rebuilds() int64 { return ed.rebuilds }
 // Apply dispatches one wire event. The frame must already have passed
 // SessionEvent.Validate against the current N.
 func (ed *Editor) Apply(ev *network.SessionEvent) error {
+	return ed.ApplyContext(context.Background(), ev)
+}
+
+// ApplyContext is Apply under a context. When ctx carries a trace span
+// the update path the event took is recorded as a distinct span —
+// "rebind" for a move (the O(n) dense row/column patch), "rebuild" for
+// add/remove (a full field reconstruction, with the builder's fill
+// phases nested inside), "derive" for a retune (field reused
+// untouched) — so a session trace shows which events paid O(n²).
+func (ed *Editor) ApplyContext(ctx context.Context, ev *network.SessionEvent) error {
+	parent := obs.SpanFrom(ctx)
 	switch ev.Type {
 	case network.EventMove:
-		return ed.Move(ev.Link, ev.Sender, ev.Receiver)
+		sp := parent.Child("rebind")
+		sp.SetInt("link", int64(ev.Link))
+		err := ed.Move(ev.Link, ev.Sender, ev.Receiver)
+		sp.End()
+		return err
 	case network.EventAdd:
-		return ed.Add(*ev.Add)
+		sp := parent.Child("rebuild")
+		sp.SetStr("cause", "add")
+		err := ed.add(obs.ContextWithSpan(ctx, sp), *ev.Add)
+		sp.End()
+		return err
 	case network.EventRemove:
-		return ed.Remove(ev.Link)
+		sp := parent.Child("rebuild")
+		sp.SetStr("cause", "remove")
+		sp.SetInt("link", int64(ev.Link))
+		err := ed.remove(obs.ContextWithSpan(ctx, sp), ev.Link)
+		sp.End()
+		return err
 	case network.EventRetune:
-		return ed.Retune(ev.Eps)
+		sp := parent.Child("derive")
+		sp.SetFloat("eps", ev.Eps)
+		err := ed.Retune(ev.Eps)
+		sp.End()
+		return err
 	default:
 		return fmt.Errorf("mobility: unknown event type %q", ev.Type)
 	}
@@ -122,17 +152,21 @@ func (ed *Editor) Move(i int, sender, receiver *geom.Point) error {
 // Add appends a link and rebuilds the field (the link count changed;
 // no backend patches that incrementally). The new link's index is the
 // new N−1; existing indices are stable.
-func (ed *Editor) Add(l network.Link) error {
+func (ed *Editor) Add(l network.Link) error { return ed.add(context.Background(), l) }
+
+func (ed *Editor) add(ctx context.Context, l network.Link) error {
 	next := make([]network.Link, 0, len(ed.links)+1)
 	next = append(next, ed.links...)
 	next = append(next, l)
-	return ed.rebuild(next)
+	return ed.rebuild(ctx, next)
 }
 
 // Remove splices link i out and rebuilds the field. Links above i
 // shift down by one — RenumberAfterRemove is the matching index
 // rewrite for any schedule held against the old instance.
-func (ed *Editor) Remove(i int) error {
+func (ed *Editor) Remove(i int) error { return ed.remove(context.Background(), i) }
+
+func (ed *Editor) remove(ctx context.Context, i int) error {
 	if i < 0 || i >= len(ed.links) {
 		return fmt.Errorf("mobility: remove link %d out of range [0,%d)", i, len(ed.links))
 	}
@@ -142,7 +176,7 @@ func (ed *Editor) Remove(i int) error {
 	next := make([]network.Link, 0, len(ed.links)-1)
 	next = append(next, ed.links[:i]...)
 	next = append(next, ed.links[i+1:]...)
-	return ed.rebuild(next)
+	return ed.rebuild(ctx, next)
 }
 
 // Retune changes the target success probability ε, deriving a sibling
@@ -163,12 +197,12 @@ func (ed *Editor) Retune(eps float64) error {
 
 // rebuild validates next and replaces the prepared handle with a fresh
 // build over it, keeping the current radio parameters.
-func (ed *Editor) rebuild(next []network.Link) error {
+func (ed *Editor) rebuild(ctx context.Context, next []network.Link) error {
 	ls, err := network.NewLinkSet(next)
 	if err != nil {
 		return err
 	}
-	prep, err := sched.Prepare(ls, ed.prep.Problem().Params, ed.opt)
+	prep, err := sched.PrepareContext(ctx, ls, ed.prep.Problem().Params, ed.opt)
 	if err != nil {
 		return err
 	}

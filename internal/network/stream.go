@@ -141,6 +141,11 @@ type SessionDelta struct {
 	Throughput float64 `json:"throughput"`
 	// Error reports a rejected event (Seq did not advance).
 	Error string `json:"error,omitempty"`
+	// TraceID, set only on error deltas, names the request trace that
+	// recorded the failure so the frame can be correlated with the
+	// server's flight recorder. Applied deltas omit it — replayed
+	// frames stay byte-identical across reconnects.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DecodeSessionDelta parses one delta frame strictly (client side of

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestLabelCardinalityGuard floods one family with fuzzer-grade label
+// values and checks the registry clamps at the budget plus a single
+// shared overflow series.
+func TestLabelCardinalityGuard(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelLimit(8)
+	for i := 0; i < 100; i++ {
+		r.Counter("solves_total", "solves", Label{Key: "algorithm", Value: fmt.Sprintf("algo-%d", i)}).Inc()
+	}
+	r.mu.Lock()
+	f := r.byName["solves_total"]
+	series := len(f.entries)
+	r.mu.Unlock()
+	if series != 9 { // 8 admitted values + "other"
+		t.Fatalf("series = %d, want 9", series)
+	}
+
+	// Every overflowed registration shares the same counter.
+	c1 := r.Counter("solves_total", "solves", Label{Key: "algorithm", Value: "algo-50"})
+	c2 := r.Counter("solves_total", "solves", Label{Key: "algorithm", Value: "algo-99"})
+	if c1 != c2 {
+		t.Fatal("overflow registrations did not collapse into one series")
+	}
+	if c1.Value() != 100-8 {
+		t.Fatalf("overflow counter = %d, want %d", c1.Value(), 100-8)
+	}
+
+	// Admitted values keep their own series and stay re-resolvable.
+	early := r.Counter("solves_total", "solves", Label{Key: "algorithm", Value: "algo-3"})
+	if early == c1 {
+		t.Fatal("admitted value collapsed into overflow")
+	}
+	if early.Value() != 1 {
+		t.Fatalf("admitted counter = %d, want 1", early.Value())
+	}
+
+	// Explicit "other" maps to the overflow series without consuming
+	// budget, and the guard is per label key: a second key gets its
+	// own budget.
+	if got := r.Counter("solves_total", "solves", Label{Key: "algorithm", Value: LabelOverflow}); got != c1 {
+		t.Fatal("explicit \"other\" did not reuse the overflow series")
+	}
+	for i := 0; i < 20; i++ {
+		r.Counter("solves_total", "solves", Label{Key: "code", Value: fmt.Sprintf("%d", 200+i)})
+	}
+	r.mu.Lock()
+	codeVals := len(f.labelVals["code"])
+	r.mu.Unlock()
+	if codeVals != 8 {
+		t.Fatalf("second key admitted %d values, want 8", codeVals)
+	}
+}
+
+func TestLabelCardinalityDisabled(t *testing.T) {
+	r := NewRegistry()
+	r.SetLabelLimit(-1)
+	for i := 0; i < 100; i++ {
+		r.Counter("m", "m", Label{Key: "k", Value: fmt.Sprintf("v-%d", i)})
+	}
+	r.mu.Lock()
+	series := len(r.byName["m"].entries)
+	r.mu.Unlock()
+	if series != 100 {
+		t.Fatalf("disabled guard clamped anyway: %d series", series)
+	}
+}

@@ -27,6 +27,25 @@ func NewTraceID() string {
 
 var fallbackID atomic.Uint64
 
+// ValidTraceID reports whether id is acceptable as a client-supplied
+// trace ID: 8–32 hex characters. Adopting inbound IDs lets a resumed
+// session long-poll correlate with the stream it continues, but only
+// IDs that are safe to echo into headers, logs, and metrics pass.
+func ValidTraceID(id string) bool {
+	if len(id) < 8 || len(id) > 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 type traceIDKey struct{}
 
 // WithTraceID returns a context carrying the request trace ID.

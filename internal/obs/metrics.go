@@ -167,27 +167,92 @@ type entry struct {
 }
 
 // family groups every series registered under one metric name; HELP
-// and TYPE render once per family, in registration order.
+// and TYPE render once per family, in registration order. labelVals
+// tracks the distinct values seen per label key, backing the
+// cardinality guard.
 type family struct {
 	name, help string
 	kind       metricKind
 	entries    []*entry
 	byKey      map[string]*entry
+	labelVals  map[string]map[string]struct{}
 }
+
+// DefaultLabelLimit is the per-family cap on distinct values of one
+// label key. Request-derived labels (algorithm, policy, event type)
+// come from client input; without a cap a fuzzer — or a hostile client
+// — grows one series per invented name until the registry is the heap.
+// Past the cap, new values collapse into the shared "other" series.
+const DefaultLabelLimit = 64
+
+// LabelOverflow is the bucket value substituted once a label key
+// exhausts its distinct-value budget.
+const LabelOverflow = "other"
 
 // Registry owns a set of metric families. The zero Registry is not
 // usable; construct with NewRegistry. Registration is idempotent: the
 // same (name, labels) returns the same metric, so packages can look up
 // shared metrics without threading pointers.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	labelLimit int
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default label
+// cardinality limit.
 func NewRegistry() *Registry {
-	return &Registry{byName: map[string]*family{}}
+	return &Registry{byName: map[string]*family{}, labelLimit: DefaultLabelLimit}
+}
+
+// SetLabelLimit replaces the per-family distinct-value budget per
+// label key (0 restores the default; negative disables the guard).
+// Values already admitted keep their series; only future new values
+// feel a lowered limit.
+func (r *Registry) SetLabelLimit(n int) {
+	r.mu.Lock()
+	if n == 0 {
+		n = DefaultLabelLimit
+	}
+	r.labelLimit = n
+	r.mu.Unlock()
+}
+
+// clampLabels rewrites label values that would exceed the family's
+// distinct-value budget to LabelOverflow. Called with the registry
+// lock held. The caller's slice is never mutated; a copy is made only
+// when a rewrite happens.
+func (f *family) clampLabels(labels []Label, limit int) []Label {
+	if limit < 0 || len(labels) == 0 {
+		return labels
+	}
+	out := labels
+	for i, l := range labels {
+		if l.Value == LabelOverflow {
+			continue
+		}
+		if f.labelVals == nil {
+			f.labelVals = map[string]map[string]struct{}{}
+		}
+		seen := f.labelVals[l.Key]
+		if seen == nil {
+			seen = map[string]struct{}{}
+			f.labelVals[l.Key] = seen
+		}
+		if _, ok := seen[l.Value]; ok {
+			continue
+		}
+		if len(seen) < limit {
+			seen[l.Value] = struct{}{}
+			continue
+		}
+		if &out[0] == &labels[0] {
+			out = append([]Label(nil), labels...)
+		}
+		out[i].Value = LabelOverflow
+	}
+	return out
 }
 
 func labelKey(labels []Label) string {
@@ -218,6 +283,7 @@ func (r *Registry) register(name, help string, kind metricKind, labels []Label) 
 	} else if f.kind != kind {
 		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
 	}
+	labels = f.clampLabels(labels, r.labelLimit)
 	key := labelKey(labels)
 	if e, ok := f.byKey[key]; ok {
 		return e

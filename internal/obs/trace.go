@@ -84,11 +84,26 @@ type Tracer struct {
 	phases    map[string]float64
 	counters  map[string]int64
 	ctrOrder  []string
+	span      Span // parent span phases nest under (inert when unset)
 }
 
 // NewTracer returns an enabled tracer.
 func NewTracer() *Tracer {
 	return &Tracer{phases: map[string]float64{}, counters: map[string]int64{}}
+}
+
+// AttachSpan nests the tracer's phases under sp: every StartPhase also
+// opens a child span of sp, so solver phase timings appear inside the
+// request's trace tree. Attach before the solve starts; returns t for
+// chaining. Nil-safe on both sides.
+func (t *Tracer) AttachSpan(sp Span) *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.span = sp
+	t.mu.Unlock()
+	return t
 }
 
 // SetAlgorithm records which algorithm the trace belongs to.
@@ -98,7 +113,9 @@ func (t *Tracer) SetAlgorithm(name string) {
 	}
 	t.mu.Lock()
 	t.algorithm = name
+	sp := t.span
 	t.mu.Unlock()
+	sp.SetStr("algorithm", name)
 }
 
 // Count adds n to the named counter.
@@ -114,29 +131,37 @@ func (t *Tracer) Count(key string, n int64) {
 	t.mu.Unlock()
 }
 
-// Span measures one phase; obtain with StartPhase, finish with End.
-// It is a value type so the enabled path allocates nothing either.
-type Span struct {
+// Phase measures one solver phase; obtain with StartPhase, finish with
+// End. It is a value type so the enabled path allocates nothing
+// either. When the tracer has an attached request span, the phase also
+// opens a child span, so the same call site feeds both the flat
+// per-phase totals (SolveStats) and the request trace tree.
+type Phase struct {
 	t     *Tracer
 	name  string
 	start time.Time
+	sp    Span
 }
 
 // StartPhase begins timing a named phase. On a nil tracer the returned
-// Span is inert and no clock is read.
-func (t *Tracer) StartPhase(name string) Span {
+// Phase is inert and no clock is read.
+func (t *Tracer) StartPhase(name string) Phase {
 	if t == nil {
-		return Span{}
+		return Phase{}
 	}
-	return Span{t: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	parent := t.span
+	t.mu.Unlock()
+	return Phase{t: t, name: name, start: time.Now(), sp: parent.Child(name)}
 }
 
-// End records the span's elapsed wall time; repeated phases with the
-// same name accumulate.
-func (s Span) End() {
+// End records the phase's elapsed wall time; repeated phases with the
+// same name accumulate (their spans stay distinct).
+func (s Phase) End() {
 	if s.t == nil {
 		return
 	}
+	s.sp.End()
 	elapsed := time.Since(s.start).Seconds()
 	s.t.mu.Lock()
 	if _, ok := s.t.phases[s.name]; !ok {

@@ -39,6 +39,12 @@ func (p Params) FieldKernel() FieldKernel {
 	return FieldKernel{gammaTh: p.GammaTh, hp: mathx.NewHalfPow(p.Alpha)}
 }
 
+// PowSpec names the pow specialization the kernel selected for its α
+// ("x_sqrt_x" for the paper's α = 3, "generic" for the math.Pow
+// fallback, …). Field-build trace spans carry it so a slow build on an
+// unspecialized α is visible in the flight recorder.
+func (k FieldKernel) PowSpec() string { return k.hp.Kind().String() }
+
 // ReceiverConst returns K_j = γ_th·d_jj^α/p_j — the per-receiver
 // constant hoisted out of the pair loops. Computed as
 // γ_th·(d_jj²)^{α/2}/p_j through the same specialized pow the pair

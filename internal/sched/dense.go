@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -44,13 +46,16 @@ type DenseField struct {
 	n      int
 }
 
-func newDenseField(ls *network.LinkSet, p radio.Params) *DenseField {
-	return newDenseFieldWorkers(ls, p, runtime.GOMAXPROCS(0))
+func newDenseField(ctx context.Context, ls *network.LinkSet, p radio.Params) *DenseField {
+	return newDenseFieldWorkers(ctx, ls, p, runtime.GOMAXPROCS(0))
 }
 
 // newDenseFieldWorkers exposes the worker count so tests can prove the
-// parallel fill is bit-identical to the serial one.
-func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *DenseField {
+// parallel fill is bit-identical to the serial one. When ctx carries a
+// trace span, each worker's row chunk is recorded as a "dense_fill"
+// child — concurrent siblings in the trace, so a straggling shard is
+// visible.
+func newDenseFieldWorkers(ctx context.Context, ls *network.LinkSet, p radio.Params, workers int) *DenseField {
 	n := ls.Len()
 	f := &DenseField{
 		ls: ls, params: p, kern: p.FieldKernel(), n: n,
@@ -73,8 +78,12 @@ func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *Den
 	if workers > n {
 		workers = n
 	}
+	parent := obs.SpanFrom(ctx)
 	if workers <= 1 {
+		sp := parent.Child("dense_fill")
+		sp.SetInt("rows", int64(n))
 		f.fillRows(0, n)
+		sp.End()
 		return f
 	}
 	var wg sync.WaitGroup
@@ -84,7 +93,11 @@ func newDenseFieldWorkers(ls *network.LinkSet, p radio.Params, workers int) *Den
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			sp := parent.Child("dense_fill")
+			sp.SetInt("row_lo", int64(lo))
+			sp.SetInt("rows", int64(hi-lo))
 			f.fillRows(lo, hi)
+			sp.End()
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/network"
@@ -57,8 +58,11 @@ type InterferenceField interface {
 	ForEachAffected(i int, fn func(j int, f float64))
 }
 
-// fieldBuilder constructs a backend for a validated instance.
-type fieldBuilder func(ls *network.LinkSet, p radio.Params) (InterferenceField, error)
+// fieldBuilder constructs a backend for a validated instance. ctx
+// carries the request's trace span (obs.SpanFrom) so builds show up in
+// the flight recorder; builders must not treat it as a cancellation
+// signal — a half-built field is useless.
+type fieldBuilder func(ctx context.Context, ls *network.LinkSet, p radio.Params) (InterferenceField, error)
 
 // problemConfig collects NewProblem options.
 type problemConfig struct {
@@ -74,8 +78,8 @@ type Option func(*problemConfig)
 func WithDenseField() Option {
 	return func(c *problemConfig) {
 		c.name = "dense"
-		c.build = func(ls *network.LinkSet, p radio.Params) (InterferenceField, error) {
-			return newDenseField(ls, p), nil
+		c.build = func(ctx context.Context, ls *network.LinkSet, p radio.Params) (InterferenceField, error) {
+			return newDenseField(ctx, ls, p), nil
 		}
 	}
 }
@@ -87,8 +91,8 @@ func WithDenseField() Option {
 func WithSparseField(o SparseOptions) Option {
 	return func(c *problemConfig) {
 		c.name = "sparse"
-		c.build = func(ls *network.LinkSet, p radio.Params) (InterferenceField, error) {
-			return newSparseField(ls, p, o)
+		c.build = func(ctx context.Context, ls *network.LinkSet, p radio.Params) (InterferenceField, error) {
+			return newSparseField(ctx, ls, p, o)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -210,12 +211,12 @@ func TestAccumIncrementalMatchesRecompute(t *testing.T) {
 func TestSparseWorkerCountBitIdentical(t *testing.T) {
 	ls := genLinkSet(t, 400, 13, 600)
 	p := radio.DefaultParams()
-	ref, err := newSparseField(ls, p, SparseOptions{Workers: 1})
+	ref, err := newSparseField(context.Background(), ls, p, SparseOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 3, 8, 16} {
-		sf, err := newSparseField(ls, p, SparseOptions{Workers: workers})
+		sf, err := newSparseField(context.Background(), ls, p, SparseOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,9 +242,9 @@ func TestSparseWorkerCountBitIdentical(t *testing.T) {
 func TestDenseParallelBitIdentical(t *testing.T) {
 	ls := genLinkSet(t, 300, 11, 500)
 	p := radio.DefaultParams()
-	serial := newDenseFieldWorkers(ls, p, 1)
+	serial := newDenseFieldWorkers(context.Background(), ls, p, 1)
 	for _, workers := range []int{2, 4, 7, 16} {
-		par := newDenseFieldWorkers(ls, p, workers)
+		par := newDenseFieldWorkers(context.Background(), ls, p, workers)
 		for k := range serial.factor {
 			if serial.factor[k] != par.factor[k] {
 				t.Fatalf("workers=%d: factor[%d] = %v, serial %v", workers, k, par.factor[k], serial.factor[k])

@@ -39,7 +39,14 @@ type Prepared struct {
 // wraps the problem in a reusable solve handle. It is
 // NewProblem + NewPrepared.
 func Prepare(ls *network.LinkSet, p radio.Params, opts ...Option) (*Prepared, error) {
-	pr, err := NewProblem(ls, p, opts...)
+	return PrepareContext(context.Background(), ls, p, opts...)
+}
+
+// PrepareContext is Prepare under a context: when ctx carries a trace
+// span the O(n²) field construction is recorded in the request's trace
+// (see NewProblemContext).
+func PrepareContext(ctx context.Context, ls *network.LinkSet, p radio.Params, opts ...Option) (*Prepared, error) {
+	pr, err := NewProblemContext(ctx, ls, p, opts...)
 	if err != nil {
 		return nil, err
 	}

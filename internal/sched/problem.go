@@ -1,10 +1,12 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -32,6 +34,16 @@ type Problem struct {
 // historical behavior); pass WithSparseField to trade bounded,
 // conservative-only truncation error for near-linear memory.
 func NewProblem(ls *network.LinkSet, p radio.Params, opts ...Option) (*Problem, error) {
+	return NewProblemContext(context.Background(), ls, p, opts...)
+}
+
+// NewProblemContext is NewProblem under a context. When ctx carries a
+// trace span (obs.ContextWithSpan) the field construction — the O(n²)
+// part of a cold solve — is recorded as a "field_build" span with the
+// backend, instance size, and kernel pow specialization attached; the
+// builders nest their parallel fill phases under it. ctx is not a
+// cancellation signal here: a build always runs to completion.
+func NewProblemContext(ctx context.Context, ls *network.LinkSet, p radio.Params, opts ...Option) (*Problem, error) {
 	if ls == nil {
 		return nil, fmt.Errorf("sched: nil link set")
 	}
@@ -45,7 +57,15 @@ func NewProblem(ls *network.LinkSet, p radio.Params, opts ...Option) (*Problem, 
 			o(&cfg)
 		}
 	}
-	field, err := cfg.build(ls, p)
+	sp := obs.SpanFrom(ctx).Child("field_build")
+	if sp.Enabled() {
+		sp.SetStr("backend", cfg.name)
+		sp.SetInt("links", int64(ls.Len()))
+		sp.SetStr("pow_spec", p.FieldKernel().PowSpec())
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
+	field, err := cfg.build(ctx, ls, p)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +131,7 @@ func (pr *Problem) Rebind(ls *network.LinkSet, moved []int) error {
 	if d, ok := pr.field.(*DenseField); ok {
 		d.rebind(ls, moved)
 	} else {
-		field, err := pr.build(ls, pr.Params)
+		field, err := pr.build(context.Background(), ls, pr.Params)
 		if err != nil {
 			return err
 		}

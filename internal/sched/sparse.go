@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mathx"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -82,10 +84,11 @@ type SparseField struct {
 	rowF     []float64
 }
 
-func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*SparseField, error) {
+func newSparseField(ctx context.Context, ls *network.LinkSet, p radio.Params, o SparseOptions) (*SparseField, error) {
 	if o.Cutoff < 0 || math.IsNaN(o.Cutoff) || math.IsInf(o.Cutoff, 1) {
 		return nil, fmt.Errorf("sched: sparse cutoff %v must be a finite non-negative factor", o.Cutoff)
 	}
+	parent := obs.SpanFrom(ctx)
 	cutoff := o.Cutoff
 	if cutoff == 0 {
 		cutoff = DefaultSparseCutoffFrac * p.GammaEps()
@@ -101,6 +104,8 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 		f.colStart = make([]int, 1)
 		return f, nil
 	}
+	gridSp := parent.Child("sparse_grid")
+	gridSp.SetInt("links", int64(n))
 	var pmax float64
 	for i := 0; i < n; i++ {
 		f.power[i] = p.EffectivePower(ls.Power(i))
@@ -229,12 +234,17 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 	}
 	colCount := make([]int32, n)
 	arenaCap := int(est)/len(shards) + 256
+	gridSp.End()
 
 	var wg sync.WaitGroup
 	for _, s := range shards {
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
+			fillSp := parent.Child("sparse_fill")
+			fillSp.SetInt("sender_lo", int64(s.lo))
+			fillSp.SetInt("senders", int64(s.hi-s.lo))
+			defer fillSp.End()
 			s.idx = make([]int32, arenaCap)
 			s.f = make([]float64, arenaCap)
 			for i := s.lo; i < s.hi; i++ {
@@ -295,11 +305,14 @@ func newSparseField(ls *network.LinkSet, p radio.Params, o SparseOptions) (*Spar
 	}
 	wg.Wait()
 
+	mergeSp := parent.Child("sparse_merge")
+	defer mergeSp.End()
 	f.colStart = make([]int, n+1)
 	for i := 0; i < n; i++ {
 		f.colStart[i+1] = f.colStart[i] + int(colCount[i])
 	}
 	f.pairs = f.colStart[n]
+	mergeSp.SetInt("pairs", int64(f.pairs))
 	if len(shards) == 1 {
 		s := shards[0]
 		f.colIdx = s.idx[:s.w:s.w]

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 )
 
 // maxBatchConfigs caps the fan-out of one batch request: the point of
@@ -158,15 +159,28 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, q *SolveRequest, key cacheKey) {
 			defer wg.Done()
+			// Each config runs under its own child span, so the trace
+			// shows the fan-out as concurrent lanes rather than one
+			// opaque request-length bar.
+			csp := obs.SpanFrom(ctx).Child("config")
+			defer csp.End()
+			if csp.Enabled() {
+				csp.SetInt("index", int64(i))
+				csp.SetStr("algorithm", q.Algorithm)
+			}
+			cctx := obs.ContextWithSpan(ctx, csp)
 			// Each solve queues for its own pool slot under the batch
 			// deadline: a batch never out-competes single requests for
 			// more than its fair share of workers.
-			if err := s.pool.acquire(ctx); err != nil {
+			poolSp := csp.Child("pool_wait")
+			err := s.pool.acquire(cctx)
+			poolSp.End()
+			if err != nil {
 				results[i] = batchErrorJSON(err)
 				return
 			}
 			defer s.pool.release()
-			encoded, err := s.solveToBody(ctx, q, &builds)
+			encoded, err := s.solveToBody(cctx, q, &builds)
 			if err != nil {
 				results[i] = batchErrorJSON(err)
 				return

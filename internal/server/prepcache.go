@@ -2,7 +2,9 @@ package server
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/sched"
 )
@@ -43,12 +45,16 @@ type prepEntry struct {
 	prep  *sched.Prepared
 	err   error
 	pins  int
+	// ready flips once run completed; introspection reads prep only
+	// after observing it (the atomic publishes the once-guarded write).
+	ready atomic.Bool
 }
 
 func (e *prepEntry) run() {
 	e.once.Do(func() {
 		e.prep, e.err = e.build()
 		e.build = nil
+		e.ready.Store(true)
 	})
 }
 
@@ -225,6 +231,40 @@ func (c *prepCache) remove(k cacheKey, e *prepEntry) {
 		delete(c.items, k)
 		c.m.PreparedSize(c.ll.Len())
 	}
+}
+
+// prepEntryInfo is one resident prepared-field entry as reported by
+// GET /debug/state: the truncated key, pin count, and — once the
+// single-flight build has finished — the instance it holds.
+type prepEntryInfo struct {
+	Key      string `json:"key"`
+	Pins     int    `json:"pins"`
+	Building bool   `json:"building,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Field    string `json:"field,omitempty"`
+}
+
+// snapshot lists resident entries most-recently-used first.
+func (c *prepCache) snapshot() []prepEntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]prepEntryInfo, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*prepEntry)
+		info := prepEntryInfo{
+			Key:  fmt.Sprintf("%x", e.key[:8]),
+			Pins: e.pins,
+		}
+		if !e.ready.Load() {
+			info.Building = true
+		} else if e.err == nil && e.prep != nil {
+			pr := e.prep.Problem()
+			info.N = pr.N()
+			info.Field = pr.FieldName()
+		}
+		out = append(out, info)
+	}
+	return out
 }
 
 // len reports the number of resident entries.

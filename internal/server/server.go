@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,16 @@ type Config struct {
 	// (0 = 4096). A client resuming from a seq older than the window
 	// gets 410 and must re-register.
 	SessionReplay int
+	// TraceRing is the flight-recorder capacity in retained request
+	// traces (0 = 128, negative disables span tracing entirely — no
+	// trace is allocated per request). Retained traces are served by
+	// GET /debug/requests.
+	TraceRing int
+	// TraceSampleEvery keeps every Nth non-outlier trace (0 = 1, keep
+	// all; negative keeps outliers only). Outliers — error statuses,
+	// latency above the recorder's rolling quantile, truncated runs —
+	// are always retained regardless of sampling.
+	TraceSampleEvery int
 	// Logger receives structured access and solve logs; every record
 	// carries the request's trace_id. Nil discards everything, which
 	// keeps library users and tests silent by default.
@@ -102,13 +113,14 @@ func (c Config) withDefaults() Config {
 // signals, graceful shutdown) belongs to the caller (cmd/schedd), so
 // tests can drive it with httptest directly.
 type Server struct {
-	cfg     Config
-	pool    *pool
-	cache   *resultCache
-	preps   *prepCache
-	metrics *Metrics
-	log     *slog.Logger
-	mux     *http.ServeMux
+	cfg      Config
+	pool     *pool
+	cache    *resultCache
+	preps    *prepCache
+	metrics  *Metrics
+	log      *slog.Logger
+	mux      *http.ServeMux
+	recorder *obs.Recorder // nil when Config.TraceRing < 0
 
 	// Streaming-session registry (session.go). sessCtx is canceled by
 	// Close to unblock live event streams and long-polls before the
@@ -134,6 +146,12 @@ func New(cfg Config) *Server {
 		log:     cfg.Logger,
 	}
 	s.preps = newPrepCache(cfg.PreparedCacheSize, s.metrics)
+	if cfg.TraceRing >= 0 {
+		s.recorder = obs.NewRecorder(obs.RecorderConfig{
+			Capacity:    cfg.TraceRing,
+			SampleEvery: cfg.TraceSampleEvery,
+		})
+	}
 	if s.log == nil {
 		s.log = obs.Discard()
 	}
@@ -164,6 +182,9 @@ func New(cfg Config) *Server {
 	})
 	s.mux.Handle("GET /metrics", reg.PrometheusHandler())
 	s.mux.Handle("GET /debug/vars", s.metrics.Handler())
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequestTrace)
+	s.mux.HandleFunc("GET /debug/state", s.handleDebugState)
 	return s
 }
 
@@ -219,13 +240,27 @@ func (s *Server) ResetCache() { s.cache.reset() }
 func (s *Server) ResetPreparedCache() { s.preps.reset() }
 
 // ServeHTTP implements http.Handler with the observability middleware
-// wrapped around the route table: every request gets a fresh trace ID
-// (propagated via context into solver tracing and every log record,
-// and echoed in the X-Trace-Id response header), a latency-histogram
-// observation, and an access-log line.
+// wrapped around the route table: every request gets a trace ID (a
+// valid inbound X-Trace-Id is adopted so retries and resumed streams
+// correlate across requests; otherwise a fresh one is minted),
+// propagated via context into solver tracing and every log record and
+// echoed in the X-Trace-Id response header, plus a latency-histogram
+// observation and an access-log line. When the flight recorder is
+// enabled the request also gets a span trace rooted at "METHOD /path";
+// handlers hang child spans off it via obs.SpanFrom(ctx), and on
+// completion the trace is offered to the recorder, which keeps it if
+// it is sampled or an outlier (error status, slow, truncated).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	traceID := obs.NewTraceID()
+	traceID := r.Header.Get("X-Trace-Id")
+	if !obs.ValidTraceID(traceID) {
+		traceID = obs.NewTraceID()
+	}
 	ctx := obs.WithTraceID(r.Context(), traceID)
+	var trace *obs.Trace
+	if s.recorder != nil && s.traced(r.URL.Path) {
+		trace = obs.NewTrace(traceID, r.Method+" "+r.URL.Path)
+		ctx = obs.ContextWithSpan(ctx, trace.Root())
+	}
 	r = r.WithContext(ctx)
 	w.Header().Set("X-Trace-Id", traceID)
 
@@ -235,12 +270,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(rec, r)
 	elapsed := time.Since(start)
 	done(rec.code, elapsed)
+	if trace != nil {
+		trace.Finish(rec.code)
+		s.recorder.Record(trace) // recorder owns the trace from here
+	}
 	s.log.LogAttrs(ctx, slog.LevelInfo, "request",
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.Int("status", rec.code),
 		obs.DurationSeconds("duration", elapsed),
 	)
+}
+
+// traced filters span tracing to request-serving routes: scrape and
+// introspection endpoints would otherwise flood the flight recorder
+// with traces of reading the flight recorder.
+func (s *Server) traced(path string) bool {
+	return path != "/metrics" && path != "/healthz" && !strings.HasPrefix(path, "/debug/")
 }
 
 // DebugHandler returns the private-side handler: pprof plus the same
@@ -254,6 +300,9 @@ func (s *Server) DebugHandler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", s.metrics.Handler())
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{id}", s.handleDebugRequestTrace)
+	mux.HandleFunc("GET /debug/state", s.handleDebugState)
 	return mux
 }
 
@@ -302,8 +351,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	root := obs.SpanFrom(r.Context())
+	if root.Enabled() {
+		root.SetStr("algorithm", req.Algorithm)
+		root.SetInt("links", int64(len(req.Links)))
+	}
 	key := req.hash()
-	if cached, ok := s.cache.get(key); ok {
+	lookupSp := root.Child("cache_lookup")
+	cached, ok := s.cache.get(key)
+	if lookupSp.Enabled() {
+		lookupSp.SetStr("result", cacheAttr(ok))
+	}
+	lookupSp.End()
+	if ok {
 		s.metrics.CacheHit()
 		s.log.LogAttrs(r.Context(), slog.LevelDebug, "cache hit",
 			slog.String("algorithm", req.Algorithm), slog.Int("links", len(req.Links)))
@@ -326,7 +386,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Queueing counts against the request's own deadline: a saturated
 	// pool turns into 504s instead of an unbounded queue.
-	if err := s.pool.acquire(ctx); err != nil {
+	poolSp := root.Child("pool_wait")
+	err := s.pool.acquire(ctx)
+	poolSp.End()
+	if err != nil {
 		writeSolveFailure(w, err)
 		return
 	}
@@ -349,9 +412,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // request's full parameter set — typically just a different ε — over
 // the shared field without copying it. builds, when non-nil, counts
 // field constructions attributed to this caller (the batch endpoint
-// reports it).
-func (s *Server) prepared(q *SolveRequest, builds *atomic.Int64) (*sched.Prepared, error) {
+// reports it). The span on ctx covers the whole resolution; a miss
+// additionally nests the builder's field_build span, so the trace
+// distinguishes a cache wait from a paid O(n²) construction.
+func (s *Server) prepared(ctx context.Context, q *SolveRequest, builds *atomic.Int64) (*sched.Prepared, error) {
+	sp := obs.SpanFrom(ctx)
+	hit := true
 	prep, err := s.preps.getOrBuild(q.fieldKey(), func() (*sched.Prepared, error) {
+		hit = false
 		if builds != nil {
 			builds.Add(1)
 		}
@@ -363,12 +431,15 @@ func (s *Server) prepared(q *SolveRequest, builds *atomic.Int64) (*sched.Prepare
 		if err != nil {
 			return nil, &badRequestError{msg: err.Error()}
 		}
-		pp, err := sched.Prepare(ls, q.params(), opt)
+		pp, err := sched.PrepareContext(ctx, ls, q.params(), opt)
 		if err != nil {
 			return nil, &badRequestError{msg: err.Error()}
 		}
 		return pp, nil
 	})
+	if sp.Enabled() {
+		sp.SetStr("prepared_cache", cacheAttr(hit))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -379,13 +450,23 @@ func (s *Server) prepared(q *SolveRequest, builds *atomic.Int64) (*sched.Prepare
 	return dp, nil
 }
 
+func cacheAttr(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // solveToBody is the post-admission solve pipeline shared by the
 // single and batch endpoints: prepared-field resolution, the traced
 // solve, feasibility verification, optional Monte-Carlo validation,
 // and encoding. The caller holds a worker-pool slot. The returned body
 // is newline-terminated and ready for the response cache.
 func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomic.Int64) ([]byte, error) {
-	prep, err := s.prepared(q, builds)
+	root := obs.SpanFrom(ctx)
+	prepSp := root.Child("prepare")
+	prep, err := s.prepared(obs.ContextWithSpan(ctx, prepSp), q, builds)
+	prepSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -395,10 +476,17 @@ func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomi
 	// replays the first solve's timings, which is the honest answer for
 	// a response that did no solving — while the per-request trace ID
 	// stays in the X-Trace-Id header only, keeping cached bodies
-	// byte-identical across requests.
-	tr := obs.NewTracer()
+	// byte-identical across requests. AttachSpan mirrors the tracer's
+	// phases as spans under "solve", so the flight-recorder trace shows
+	// the same phase breakdown the response stats report.
+	solveSp := root.Child("solve")
+	if solveSp.Enabled() {
+		solveSp.SetInt("links", int64(pr.N()))
+	}
+	tr := obs.NewTracer().AttachSpan(solveSp)
 	ctx = obs.WithTracer(ctx, tr)
 	schedule, err := solve(ctx, q.Algorithm, prep)
+	solveSp.End()
 	if err != nil {
 		s.metrics.SolveError()
 		s.log.LogAttrs(ctx, slog.LevelWarn, "solve failed",
@@ -408,6 +496,7 @@ func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomi
 	}
 	s.metrics.SolveDone(q.Algorithm)
 
+	verifySp := root.Child("verify")
 	resp := &SolveResponse{
 		Algorithm:        q.Algorithm,
 		N:                pr.N(),
@@ -419,11 +508,17 @@ func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomi
 		ExpectedFailures: sched.ExpectedFailures(pr, schedule),
 		Stats:            tr.Stats(),
 	}
+	verifySp.End()
 	if q.MCSlots > 0 {
 		if err := ctx.Err(); err != nil { // don't start a sim after the deadline
 			return nil, err
 		}
+		mcSp := root.Child("mc_simulate")
+		if mcSp.Enabled() {
+			mcSp.SetInt("slots", int64(q.MCSlots))
+		}
 		sim, err := mc.Simulate(pr, schedule, mc.Config{Slots: q.MCSlots, Seed: q.MCSeed, Workers: 1})
+		mcSp.End()
 		if err != nil {
 			s.metrics.SolveError()
 			return nil, fmt.Errorf("simulation failed: %w", err)
@@ -436,7 +531,9 @@ func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomi
 		}
 	}
 
+	encodeSp := root.Child("encode")
 	encoded, err := json.Marshal(resp)
+	encodeSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("encoding response: %w", err)
 	}

@@ -105,6 +105,11 @@ type session struct {
 	key      cacheKey
 	algoName string
 	algo     sched.Algorithm
+	// origin is the trace ID of the request that registered the session;
+	// resume responses echo it in X-Origin-Trace-Id so a reconnecting
+	// client (and an operator reading the flight recorder) can correlate
+	// a long-poll with the registration that built the session's field.
+	origin string
 
 	// mu guards everything below. Lock ordering: the registry's sessMu
 	// may be taken before a session's mu, never after.
@@ -242,9 +247,13 @@ func encodeDelta(d *network.SessionDelta) []byte {
 }
 
 // errorDelta builds a rejection frame: seq unchanged, state untouched.
-func errorDelta(seq uint64, event string, n int, msg string) []byte {
+// traceID ties the frame to the request whose trace recorded the
+// failure — ordinary deltas stay trace-free so replayed frames remain
+// byte-identical across reconnects.
+func errorDelta(traceID string, seq uint64, event string, n int, msg string) []byte {
 	return encodeDelta(&network.SessionDelta{
-		V: network.SessionWireVersion, Seq: seq, Event: event, N: n, Error: msg,
+		V: network.SessionWireVersion, Seq: seq, Event: event, N: n,
+		Error: msg, TraceID: traceID,
 	})
 }
 
@@ -399,6 +408,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 
 	id := obs.NewTraceID()
 	key := sessionFieldKey(sv.fieldKey(), id)
+	root := obs.SpanFrom(r.Context())
+	prepSp := root.Child("prepare")
+	prepCtx := obs.ContextWithSpan(r.Context(), prepSp)
 	prep, err := s.preps.acquire(key, func() (*sched.Prepared, error) {
 		ls, err := network.NewLinkSet(req.Links)
 		if err != nil {
@@ -408,12 +420,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, &badRequestError{msg: err.Error()}
 		}
-		pp, err := sched.Prepare(ls, sv.params(), opt)
+		pp, err := sched.PrepareContext(prepCtx, ls, sv.params(), opt)
 		if err != nil {
 			return nil, &badRequestError{msg: err.Error()}
 		}
 		return pp, nil
 	})
+	prepSp.End()
 	if err != nil {
 		writeRequestFailure(w, err)
 		return
@@ -432,11 +445,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
-	if err := s.pool.acquire(ctx); err != nil {
+	poolSp := root.Child("pool_wait")
+	err = s.pool.acquire(ctx)
+	poolSp.End()
+	if err != nil {
 		writeSolveFailure(w, err)
 		return
 	}
+	solveSp := root.Child("solve")
 	sch, err := sessionSolve(ctx, algo, prep, nil)
+	solveSp.End()
 	s.pool.release()
 	if err != nil {
 		writeRequestFailure(w, err)
@@ -447,6 +465,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess := &session{
 		id:        id,
 		key:       key,
+		origin:    obs.TraceIDFrom(r.Context()),
 		algoName:  req.Algorithm,
 		algo:      algo,
 		ed:        mobility.NewEditor(prep, opt),
@@ -497,32 +516,41 @@ const (
 // delta to the replay window. Returns the frame to write.
 func (s *Server) applySessionEvent(ctx context.Context, sess *session, ev *network.SessionEvent) ([]byte, applyStatus) {
 	start := time.Now()
+	tid := obs.TraceIDFrom(ctx)
+	esp := obs.SpanFrom(ctx).Child("session_event")
+	defer esp.End()
+	if esp.Enabled() {
+		esp.SetStr("type", ev.Type)
+	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.closed {
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(), "session closed"), applyClosed
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(), "session closed"), applyClosed
 	}
 	if err := ev.Validate(sess.ed.N()); err != nil {
 		s.metrics.SessionEventRejected()
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(), err.Error()), applyRejected
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(), err.Error()), applyRejected
 	}
 	if ev.Type == network.EventAdd && sess.ed.N() >= s.cfg.MaxLinks {
 		s.metrics.SessionEventRejected()
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(),
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(),
 			fmt.Sprintf("instance at the %d-link limit", s.cfg.MaxLinks)), applyRejected
 	}
 
 	ectx, cancel := context.WithTimeout(ctx, s.cfg.DefaultTimeout)
 	defer cancel()
-	if err := s.pool.acquire(ectx); err != nil {
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(), "event aborted: "+err.Error()), applyPoisoned
+	poolSp := esp.Child("pool_wait")
+	err := s.pool.acquire(ectx)
+	poolSp.End()
+	if err != nil {
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(), "event aborted: "+err.Error()), applyPoisoned
 	}
 	defer s.pool.release()
 
 	rebuildsBefore := sess.ed.Rebuilds()
-	if err := sess.ed.Apply(ev); err != nil {
+	if err := sess.ed.ApplyContext(obs.ContextWithSpan(ectx, esp), ev); err != nil {
 		s.metrics.SessionEventRejected()
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(), err.Error()), applyRejected
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(), err.Error()), applyRejected
 	}
 	if sess.ed.Rebuilds() != rebuildsBefore {
 		// add/remove rebuilt the field: account for the build and point
@@ -534,13 +562,15 @@ func (s *Server) applySessionEvent(ctx context.Context, sess *session, ev *netwo
 		sess.active = sched.RenumberAfterRemove(sess.active, ev.Link)
 	}
 
+	solveSp := esp.Child("solve")
 	sch, err := sessionSolve(ectx, sess.algo, sess.ed.Prepared(), sess.spare)
+	solveSp.End()
 	if err != nil {
 		// The geometry changed but the schedule could not follow; the
 		// session's streamed state no longer matches its field. Poison
 		// it rather than stream a stale baseline.
 		s.metrics.SolveError()
-		return errorDelta(sess.seq, ev.Type, sess.ed.N(), "re-solve failed: "+err.Error()), applyPoisoned
+		return errorDelta(tid, sess.seq, ev.Type, sess.ed.N(), "re-solve failed: "+err.Error()), applyPoisoned
 	}
 	sess.entered, sess.left = sched.DiffSchedulesInto(sess.active, sch.Active, sess.entered, sess.left)
 	sess.spare = sess.active
@@ -580,6 +610,9 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
+	}
+	if sess.origin != "" {
+		w.Header().Set("X-Origin-Trace-Id", sess.origin)
 	}
 	if !sess.startStream() {
 		writeError(w, http.StatusConflict, "session already has a live event stream")
@@ -633,7 +666,8 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				seq, n := sess.seqN()
 				s.metrics.SessionEventRejected()
-				writeFrame(errorDelta(seq, "", n, "stream read error: "+err.Error()))
+				writeFrame(errorDelta(obs.TraceIDFrom(r.Context()), seq, "", n,
+					"stream read error: "+err.Error()))
 			}
 			return
 		case line := <-lines:
@@ -644,7 +678,8 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				seq, n := sess.seqN()
 				s.metrics.SessionEventRejected()
-				writeFrame(errorDelta(seq, "", n, "malformed event: "+err.Error()))
+				writeFrame(errorDelta(obs.TraceIDFrom(r.Context()), seq, "", n,
+					"malformed event: "+err.Error()))
 				return
 			}
 			frame, st := s.applySessionEvent(r.Context(), sess, &ev)
@@ -674,6 +709,12 @@ func (s *Server) handleSessionDeltas(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
+	}
+	// A resumed stream correlates back to the registration that built
+	// the session: X-Trace-Id identifies this long-poll's own trace,
+	// X-Origin-Trace-Id the trace that created the session.
+	if sess.origin != "" {
+		w.Header().Set("X-Origin-Trace-Id", sess.origin)
 	}
 	q := r.URL.Query()
 	var seq uint64

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -279,13 +280,19 @@ func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	if err := s.pool.acquire(ctx); err != nil {
+	root := obs.SpanFrom(r.Context())
+	poolSp := root.Child("pool_wait")
+	err := s.pool.acquire(ctx)
+	poolSp.End()
+	if err != nil {
 		writeSolveFailure(w, err)
 		return
 	}
 	defer s.pool.release()
 
-	prep, err := s.prepared(req.solveView(), nil)
+	prepSp := root.Child("prepare")
+	prep, err := s.prepared(obs.ContextWithSpan(ctx, prepSp), req.solveView(), nil)
+	prepSp.End()
 	if err != nil {
 		writeRequestFailure(w, err)
 		return
@@ -306,6 +313,13 @@ func (s *Server) handleTraffic(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res := eng.Run(ctx)
 	elapsed := time.Since(start)
+	if res.Truncated {
+		// A deadline-cut run is exactly the kind of request an operator
+		// wants retained regardless of sampling.
+		if t := root.Trace(); t != nil {
+			t.MarkOutlier("truncated")
+		}
+	}
 	s.metrics.TrafficDone(res.Policy, res.Truncated)
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "traffic run",
 		slog.String("policy", res.Policy),

@@ -51,6 +51,12 @@ type Engine struct {
 	slot int
 	res  Result
 	m    *engineMetrics
+
+	// runSpan is the trace span covering the whole run; Step hangs one
+	// bounded per-slot child off it (the trace arena caps how many
+	// stick, so a million-slot run records its opening slots and then
+	// pays one atomic check per slot).
+	runSpan obs.Span
 }
 
 // New builds an engine over the prepared problem. The configuration is
@@ -114,6 +120,9 @@ func (e *Engine) Slot() int { return e.slot }
 // the partial result is returned with Truncated set, which is how the
 // serving layer turns a request deadline into a bounded simulation.
 func (e *Engine) Run(ctx context.Context) Result {
+	e.runSpan = obs.SpanFrom(ctx).Child("traffic_run")
+	e.runSpan.SetInt("slots", int64(e.cfg.Slots))
+	e.runSpan.SetStr("policy", string(e.cfg.policy()))
 	for e.slot < e.cfg.Slots {
 		if err := e.Step(ctx); err != nil {
 			return e.finish(true)
@@ -132,6 +141,7 @@ func (e *Engine) Step(ctx context.Context) error {
 		return err
 	}
 	slot := e.slot
+	ssp := e.runSpan.Child("slot")
 
 	// 1. Arrivals. Dropped packets still count as arrived, as in
 	// legacy simnet.
@@ -159,6 +169,7 @@ func (e *Engine) Step(ctx context.Context) error {
 		sel := e.selection()
 		s, err := e.prep.ScheduleWeightedInto(ctx, sel, e.active)
 		if err != nil {
+			ssp.End()
 			return err
 		}
 		e.active = s.Active
@@ -197,6 +208,12 @@ func (e *Engine) Step(ctx context.Context) error {
 		fmt.Fprintf(e.cfg.TraceWriter,
 			"slot=%d arrived=%d scheduled=%d delivered=%d dropped=%d backlog=%d\n",
 			slot, arrived, scheduled, delivered, dropped, e.backlog)
+	}
+	if ssp.Enabled() {
+		ssp.SetInt("slot", int64(slot))
+		ssp.SetInt("scheduled", int64(scheduled))
+		ssp.SetInt("delivered", delivered)
+		ssp.End()
 	}
 	e.slot++
 	return nil
@@ -294,6 +311,10 @@ func (e *Engine) drift() float64 {
 
 // finish assembles the Result. The engine is spent afterwards.
 func (e *Engine) finish(truncated bool) Result {
+	if e.runSpan.Enabled() {
+		e.runSpan.SetInt("delivered", e.res.Delivered)
+		e.runSpan.End()
+	}
 	res := e.res
 	res.Policy = string(e.cfg.policy())
 	res.ArrivalProcess = e.cfg.Arrivals.Name()

@@ -1,15 +1,18 @@
 #!/bin/sh
 # bench.sh — run the repository performance suite and emit a
-# machine-readable record (BENCH_PR8.json by default): ns/op, B/op, and
+# machine-readable record (BENCH_PR9.json by default): ns/op, B/op, and
 # allocs/op for the figure-regeneration bench (Fig 5a),
-# interference-field construction, cold-build vs warm-prepared solves,
-# the schedd end-to-end paths (cold / prepared-field /
-# response-cache-warm / batch), the traffic engine (per-slot cost plus
-# the ≥1M-packet n=5000 throughput run with its packets/sec metric),
-# and the streaming-session event loop at n=2000 (events/sec plus
-# p99-ns/event move→delta latency over the live HTTP stream).
+# interference-field construction, cold-build vs warm-prepared solves
+# (traced and untraced — the traced/untraced delta is the ≤5%
+# span-overhead gate, and BenchmarkSpanLifecycle documents the
+# 0 allocs/op warm span path), the schedd end-to-end paths (cold /
+# prepared-field / response-cache-warm / batch), the traffic engine
+# (per-slot cost plus the ≥1M-packet n=5000 throughput run with its
+# packets/sec metric), and the streaming-session event loop at n=2000
+# (events/sec plus p99-ns/event move→delta latency over the live HTTP
+# stream).
 #
-#   scripts/bench.sh              full run, writes BENCH_PR8.json
+#   scripts/bench.sh              full run, writes BENCH_PR9.json
 #   scripts/bench.sh -quick       1-iteration smoke (check.sh uses this)
 #   scripts/bench.sh -o out.json  choose the output path
 #
@@ -23,7 +26,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR8.json
+out=BENCH_PR9.json
 benchtime=${BENCHTIME:-1s}
 buildbenchtime=3s
 quick=0
@@ -64,16 +67,20 @@ run() { # run <package> <bench regex> [benchtime]
 }
 
 if [ "$quick" = 1 ]; then
-    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
+    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$|BenchmarkSolveWarmTraced$'
     run ./internal/server/ 'BenchmarkSolveBatch$|BenchmarkSessionEvents$'
     run ./internal/traffic/ 'BenchmarkEngineStep$'
+    run ./internal/obs/ 'BenchmarkSpanLifecycle$'
 else
     run . 'BenchmarkFig5a$'
     # Field builds get a fixed multi-iteration budget (see header).
     run . 'BenchmarkNewProblem$' "$buildbenchtime"
-    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$'
+    run . 'BenchmarkSolveColdBuild$|BenchmarkSolveWarmPrepared$|BenchmarkSolveWarmTraced$'
     run ./internal/server/ 'BenchmarkSolveColdVsWarm$|BenchmarkSolveBatch$|BenchmarkSessionEvents$'
     run ./internal/traffic/ 'BenchmarkEngineStep$|BenchmarkEngineThroughput$'
+    # The span-tracing overhead record: the warm span lifecycle must
+    # stay 0 allocs/op, the inert path near-free.
+    run ./internal/obs/ 'BenchmarkSpanLifecycle$|BenchmarkSpanInert$'
 fi
 
 # Parse `go test -bench` result lines into JSON. A line is

@@ -93,4 +93,11 @@ echo "== metrics smoke"
 # response, trace ID joined across header and access log.
 go test -race -run TestMetricsSmoke -count=1 ./cmd/schedd/
 
+echo "== trace smoke"
+# Boot once more: a traced n=2000 solve plus a streaming-session event
+# must land in the flight recorder with their field-build, solver, and
+# session-event spans, and the per-trace endpoint must export loadable
+# Chrome trace_event JSON.
+go test -race -run TestTraceSmoke -count=1 ./cmd/schedd/
+
 echo "ok"
