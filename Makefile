@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test test-full test-stream bench bench-field bench-json bench-serve bench-obs bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke trace-smoke
+.PHONY: check test test-full test-stream test-shard bench bench-field bench-json bench-serve bench-obs bench-shard bench-traffic build fmt vet fuzz serve serve-smoke metrics-smoke trace-smoke
 
 ## check: formatting + vet + build + race-enabled test suite (the gate)
 check:
@@ -29,17 +29,33 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem|BenchmarkFieldBackends' -benchtime 2x .
 
 ## bench-field: field-construction kernels at a converged budget —
-## dense vs sparse builds (n up to 5000) plus the log1p/pow micro-kernels
+## dense vs sparse builds (n up to 5000), the row-fill vs pair-fused
+## fill head-to-head behind FactorPairSpan, and the log1p/pow
+## micro-kernels
 bench-field:
 	$(GO) test -run '^$$' -bench 'BenchmarkNewProblem$$' -benchtime 3s -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkFieldFill' -benchtime 2s -count=1 ./internal/radio/
 	$(GO) test -run '^$$' -bench 'BenchmarkLog1pPos$$|BenchmarkLog1pStdlib$$|BenchmarkHalfPow' -count=1 ./internal/mathx/
 
-## bench-json: the full performance suite → BENCH_PR9.json
+## bench-json: the full performance suite → BENCH_PR10.json
 ## (Fig 5a, field build, cold vs warm-prepared solve traced and
-## untraced, schedd end-to-end, traffic engine, streaming-session
-## event loop, span-lifecycle overhead)
+## untraced, sharded-vs-unsharded greedy plus the n=100k scale record,
+## schedd end-to-end, traffic engine, streaming-session event loop,
+## span-lifecycle overhead)
 bench-json:
 	sh scripts/bench.sh
+
+## bench-shard: the tile-sharded scale benches — sharded vs unsharded
+## greedy at n=5000/20000 and the n=100000 sparse build + sharded solve
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedVsGreedy$$' -benchtime 3x -count=1 .
+	$(GO) test -run '^$$' -bench 'BenchmarkSharded100k$$' -benchtime 1x -count=1 .
+
+## test-shard: the tile-sharded solver suite under the race detector —
+## tile-worker concurrency, the shards=1 ≡ greedy bit-identity and
+## Monte-Carlo feasibility oracles, and the clustered-layout fuzz seeds
+test-shard:
+	$(GO) test -race -run 'TestSharded|FuzzShardedFeasible' -count=1 ./internal/sched/
 
 ## bench-traffic: traffic-engine per-slot cost (0 allocs/op) and the
 ## ≥1M-packet n=5000 throughput run with its packets/sec metric
@@ -77,6 +93,7 @@ bench-obs:
 ## decoder targets
 fuzz:
 	$(GO) test -fuzz FuzzSparseNeverOverAdmits -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzShardedFeasible -fuzztime 30s ./internal/sched/
 	$(GO) test -fuzz FuzzHalfPowRaise -fuzztime 30s ./internal/mathx/
 	$(GO) test -fuzz 'FuzzRead$$' -fuzztime 30s ./internal/network/
 	$(GO) test -fuzz FuzzReadLinkSet -fuzztime 30s ./internal/network/

@@ -84,6 +84,13 @@ type (
 	ApproxDiversity = sched.ApproxDiversity
 	// Greedy is the rate-greedy insertion heuristic.
 	Greedy = sched.Greedy
+	// Sharded is the tile-parallel greedy: receivers are partitioned
+	// onto a spatial grid, tiles solve concurrently under a reserved
+	// cross-tile interference budget, and a full-budget merge pass
+	// repairs the boundaries. Shards=1 is bit-identical to Greedy.
+	Sharded = sched.Sharded
+	// Shardable marks algorithms whose tile count callers can pin.
+	Shardable = sched.Shardable
 	// Exact is the parallel branch-and-bound optimum solver.
 	Exact = sched.Exact
 	// DLS is the decentralized scheduler reconstruction.

@@ -41,6 +41,17 @@ const (
 	// Greedy insertion.
 	KeyAdmitted = "admitted"
 	KeyRejected = "rejected"
+
+	// Tile-sharded solving. KeyTiles is the partition's tile count,
+	// KeyTilesSolved counts tiles completed (workers bump it live, so a
+	// mid-solve Stats snapshot shows fan-out progress), KeyTileAdmitted
+	// the per-tile admissions surviving into the merge candidate list,
+	// and KeyBoundaryRepairs the candidates the full-budget merge pass
+	// dropped to resolve cross-tile conflicts.
+	KeyTiles           = "tiles"
+	KeyTilesSolved     = "tiles_solved"
+	KeyTileAdmitted    = "tile_admitted"
+	KeyBoundaryRepairs = "boundary_repairs"
 )
 
 // PhaseStat is one named phase's accumulated wall time.
@@ -154,6 +165,12 @@ func (t *Tracer) StartPhase(name string) Phase {
 	t.mu.Unlock()
 	return Phase{t: t, name: name, start: time.Now(), sp: parent.Child(name)}
 }
+
+// Span returns the child span opened for this phase — inert on a nil
+// tracer, without an attached request span, or when the trace arena is
+// exhausted — so call sites can attach phase-level attributes (tile
+// counts, repair totals) before End.
+func (s Phase) Span() Span { return s.sp }
 
 // End records the phase's elapsed wall time; repeated phases with the
 // same name accumulate (their spans stay distinct).

@@ -110,6 +110,16 @@ func (p Params) Informed(totalFactor float64) bool {
 	return totalFactor <= p.GammaEps()+feasibilitySlack
 }
 
+// InformedBudget is Informed against an explicit budget instead of the
+// full γ_ε: it reports totalFactor ≤ budget (+ the same rounding
+// slack). Tile-sharded solving admits links inside a tile against a
+// reserved budget (1−ρ)·γ_ε, leaving ρ·γ_ε of headroom for cross-tile
+// interference the tile pass cannot see; the merge pass then re-checks
+// against the full budget via Informed.
+func (p Params) InformedBudget(totalFactor, budget float64) bool {
+	return totalFactor <= budget+feasibilitySlack
+}
+
 // feasibilitySlack absorbs floating-point rounding in long factor sums
 // so that schedules sitting exactly on the analytic budget (as LDP's
 // worst-case construction does) are not rejected by one ulp.

@@ -1,0 +1,105 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+// Benchmarks for ROADMAP item 4's residual idea: exploit "symmetry"
+// between the (i,j) and (j,i) pair fills by visiting each unordered
+// pair once and producing both directions. The factor's distance is
+// sender_i → receiver_j, so d_ij ≠ d_ji and no arithmetic is actually
+// shared — the candidate saving is the fused pair visit, which runs
+// two independent divide/sqrt/log1p chains per iteration where the
+// row fill exposes one, at the cost of a stride-n mirror store.
+//
+// Measured with `make bench-field`: the fusion wins ~1.5× here
+// (instruction latency, not memory, bounds the α = 3 kernel), so it
+// was promoted into production as FieldKernel.FactorPairSpan and the
+// dense build's band-pair fill — these benchmarks remain as the
+// canonical head-to-head of the two shapes.
+
+// symBenchN is sized so the matrix (n² float64 = 32 MB) exceeds LLC,
+// matching the regime where dense builds actually run.
+const symBenchN = 2000
+
+func symBenchInputs(n int) (k FieldKernel, pi, sx, sy, rx, ry, K []float64) {
+	p := DefaultParams()
+	k = p.FieldKernel()
+	pi = make([]float64, n)
+	sx = make([]float64, n)
+	sy = make([]float64, n)
+	rx = make([]float64, n)
+	ry = make([]float64, n)
+	K = make([]float64, n)
+	// Deterministic scatter over a 500-unit region with ~[5,20] links
+	// (the paper deployment's shape) via a fixed LCG.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		pi[i] = p.EffectivePower(0)
+		sx[i] = 500 * next()
+		sy[i] = 500 * next()
+		length := 5 + 15*next()
+		angle := 2 * math.Pi * next()
+		rx[i] = sx[i] + length*math.Cos(angle)
+		ry[i] = sy[i] + length*math.Sin(angle)
+		K[i] = k.ReceiverConst(pi[i], length)
+	}
+	return k, pi, sx, sy, rx, ry, K
+}
+
+// BenchmarkFieldFillRows is the production shape: one contiguous
+// FactorRow per sender (serial here — the build parallelizes over
+// senders, which scales both variants identically).
+func BenchmarkFieldFillRows(b *testing.B) {
+	k, pi, sx, sy, rx, ry, K := symBenchInputs(symBenchN)
+	out := make([]float64, symBenchN*symBenchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for i := 0; i < symBenchN; i++ {
+			k.FactorRow(pi[i], sx[i], sy[i], rx, ry, K, i, out[i*symBenchN:(i+1)*symBenchN])
+		}
+	}
+}
+
+// BenchmarkFieldFillSymPairs visits each unordered pair {i,j} once and
+// fills both directions: f_ij from d(s_i, r_j) and f_ji from
+// d(s_j, r_i). Distances are independent (4 coordinate loads and two
+// factor evaluations per pair, versus 2 loads and one factor in the
+// row fill), so the fusion only amortizes loop overhead — and pays a
+// stride-n mirror store.
+func BenchmarkFieldFillSymPairs(b *testing.B) {
+	k, pi, sx, sy, rx, ry, K := symBenchInputs(symBenchN)
+	if k.hp.Kind() != mathx.PowXSqrtX {
+		b.Fatalf("expected the α=3 specialization, got %s", k.PowSpec())
+	}
+	out := make([]float64, symBenchN*symBenchN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for i := 0; i < symBenchN; i++ {
+			sxi, syi := sx[i], sy[i]
+			rxi, ryi := rx[i], ry[i]
+			piKrow := pi[i]
+			Ki := K[i]
+			out[i*symBenchN+i] = 0
+			for j := i + 1; j < symBenchN; j++ {
+				dx := rx[j] - sxi
+				dy := ry[j] - syi
+				d2 := dx*dx + dy*dy
+				out[i*symBenchN+j] = mathx.Log1pPos(piKrow * K[j] / (d2 * math.Sqrt(d2)))
+				ex := rxi - sx[j]
+				ey := ryi - sy[j]
+				e2 := ex*ex + ey*ey
+				out[j*symBenchN+i] = mathx.Log1pPos(pi[j] * Ki / (e2 * math.Sqrt(e2)))
+			}
+		}
+	}
+}

@@ -67,7 +67,9 @@ var (
 	_ scratchAlgorithm        = Greedy{}
 	_ scratchAlgorithm        = RLE{}
 	_ scratchAlgorithm        = ApproxDiversity{}
+	_ scratchAlgorithm        = Sharded{}
 	_ scratchContextAlgorithm = DLS{}
+	_ Shardable               = Sharded{}
 )
 
 // scheduleWith is the shared dispatcher behind ScheduleContext and

@@ -197,6 +197,7 @@ type preparedShared struct {
 	gen      uint64
 	genValid bool
 	senders  []geom.Point
+	recvs    []geom.Point
 	medLen   float64
 	medValid bool
 	indexes  map[float64]*geom.Index
@@ -211,6 +212,7 @@ func (sh *preparedShared) syncGen(pr *Problem) {
 	}
 	sh.gen, sh.genValid = pr.gen, true
 	sh.senders = nil
+	sh.recvs = nil
 	sh.medValid = false
 	sh.indexes = nil
 }
@@ -227,6 +229,16 @@ func (sh *preparedShared) sendersLocked(pr *Problem) []geom.Point {
 		sh.senders = pr.Links.Senders()
 	}
 	return sh.senders
+}
+
+func (sh *preparedShared) receiversFor(pr *Problem) []geom.Point {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.syncGen(pr)
+	if sh.recvs == nil {
+		sh.recvs = pr.Links.Receivers()
+	}
+	return sh.recvs
 }
 
 func (sh *preparedShared) medianLength(pr *Problem) float64 {

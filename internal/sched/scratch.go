@@ -31,9 +31,18 @@ type Scratch struct {
 	usable  []bool
 	lens    []float64
 	senders []geom.Point
+	recvs   []geom.Point
 	acc     Accum
 	acc2    Accum
 	det     detAccum
+
+	// Tile-sharded solver state (shard.go): the partition/merge
+	// workspace, lazily allocated, the tile-local accumulator a
+	// worker-checked-out Scratch solves its tiles through, and the
+	// pruned insertion loop's active-membership marks.
+	shard  *shardBufs
+	tacc   tileAccum
+	insAct []bool
 
 	// DLS round state.
 	state     []dlsState
@@ -186,6 +195,23 @@ func (s *Scratch) sendersOf(pr *Problem) []geom.Point {
 		s.senders = append(s.senders, pr.Links.Link(i).Sender)
 	}
 	return s.senders
+}
+
+// receiversOf returns the receiver positions of pr's links, from the
+// shared Prepared cache when available.
+func (s *Scratch) receiversOf(pr *Problem) []geom.Point {
+	if s.pp != nil {
+		return s.pp.shared.receiversFor(pr)
+	}
+	n := pr.N()
+	s.recvs = s.recvs[:0]
+	if cap(s.recvs) < n {
+		s.recvs = make([]geom.Point, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		s.recvs = append(s.recvs, pr.Links.Link(i).Receiver)
+	}
+	return s.recvs
 }
 
 // rule1Index returns a spatial index over senders with the given cell

@@ -1,0 +1,123 @@
+package sched_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/sched"
+)
+
+// This file is the external-package half of the sharded-solver test
+// suite: internal/mc imports internal/sched, so the Monte-Carlo
+// differential oracle cannot live in package sched itself.
+
+// shardTestCounts is the shard-count sweep the differential oracle
+// runs: the forced-identical 1, small counts that leave most tiles
+// multi-cell, and counts past the occupied-cell plateau.
+var shardTestCounts = []int{1, 2, 4, 9, 16, 64, 256}
+
+// shardDeployments are the differential-oracle instances: the paper's
+// Poisson deployment, a heterogeneous-rate variant, a pathological
+// clustered layout (hot spots straddle tile borders), and a single
+// tight cluster (every receiver lands in one tile, degenerating the
+// partition).
+func shardDeployments(t testing.TB, n int) map[string]*network.LinkSet {
+	t.Helper()
+	gen := func(cfg network.GenConfig, seed uint64) *network.LinkSet {
+		ls, err := network.Generate(cfg, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ls
+	}
+	region := 500 * math.Sqrt(float64(n)/300)
+	base := network.GenConfig{N: n, Region: region, MinLinkLen: 5, MaxLinkLen: 20, Rate: 1}
+	rates := base
+	rates.RateMax = 4
+	clustered := base
+	clustered.Clusters = 5
+	clustered.ClusterSpread = region / 20
+	tight := base
+	tight.Clusters = 1
+	tight.ClusterSpread = 2
+	return map[string]*network.LinkSet{
+		"poisson":   gen(base, 7),
+		"rates":     gen(rates, 11),
+		"clustered": gen(clustered, 13),
+		"onetile":   gen(tight, 17),
+	}
+}
+
+// mcWithinEps reports whether a Monte-Carlo run's mean failures stay
+// within the Corollary 3.1 promise E[failures] ≤ ε·|A| plus sampling
+// slack.
+func mcWithinEps(sim mc.Result, eps float64, scheduled int) bool {
+	return sim.Failures.Mean() <= eps*float64(scheduled)+4*sim.Failures.CI95()
+}
+
+// TestShardedMatchesFeasibility is the merge/repair differential
+// oracle: across field backends, deployments, and shard counts, the
+// sharded schedule must (a) pass the independent Corollary 3.1
+// verification whenever the unsharded greedy's does, (b) stay
+// Monte-Carlo feasible (mean failures within the ε promise) whenever
+// greedy's run does, (c) stay within a bounded throughput gap of
+// unsharded greedy, and (d) at shards=1 be bit-identical to greedy.
+func TestShardedMatchesFeasibility(t *testing.T) {
+	n := 600
+	if testing.Short() {
+		n = 250
+	}
+	backends := map[string][]sched.Option{
+		"dense":  {sched.WithDenseField()},
+		"sparse": {sched.WithSparseField(sched.SparseOptions{})},
+	}
+	for bname, opts := range backends {
+		for dname, ls := range shardDeployments(t, n) {
+			pr := sched.MustNewProblem(ls, radio.DefaultParams(), opts...)
+			prep := sched.NewPrepared(pr)
+			g := prep.Schedule(sched.Greedy{})
+			if !sched.Feasible(pr, g) {
+				t.Fatalf("%s/%s: unsharded greedy infeasible (broken baseline)", bname, dname)
+			}
+			gSim, err := mc.Simulate(pr, g, mc.Config{Slots: 400, Seed: 99})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gOK := mcWithinEps(gSim, pr.Params.Eps, g.Len())
+			for _, k := range shardTestCounts {
+				s := prep.Schedule(sched.Sharded{Shards: k})
+				if !sched.Feasible(pr, s) {
+					t.Errorf("%s/%s shards=%d: merged schedule fails verification", bname, dname, k)
+					continue
+				}
+				if k == 1 {
+					if len(s.Active) != len(g.Active) {
+						t.Fatalf("%s/%s shards=1: %d active links, greedy has %d",
+							bname, dname, len(s.Active), len(g.Active))
+					}
+					for i := range s.Active {
+						if s.Active[i] != g.Active[i] {
+							t.Fatalf("%s/%s shards=1: Active[%d]=%d, greedy has %d",
+								bname, dname, i, s.Active[i], g.Active[i])
+						}
+					}
+				}
+				if st, gt := s.Throughput(pr), g.Throughput(pr); st < 0.5*gt {
+					t.Errorf("%s/%s shards=%d: throughput %.1f < half of greedy's %.1f",
+						bname, dname, k, st, gt)
+				}
+				sSim, err := mc.Simulate(pr, s, mc.Config{Slots: 400, Seed: 99})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gOK && !mcWithinEps(sSim, pr.Params.Eps, s.Len()) {
+					t.Errorf("%s/%s shards=%d: MC mean failures %.3f (|A|=%d) outside ε=%.2g promise that greedy met",
+						bname, dname, k, sSim.Failures.Mean(), s.Len(), pr.Params.Eps)
+				}
+			}
+		}
+	}
+}

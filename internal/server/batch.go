@@ -29,6 +29,7 @@ type BatchConfig struct {
 	Eps       float64 `json:"eps,omitempty"`
 	MCSlots   int     `json:"mc_slots,omitempty"`
 	MCSeed    uint64  `json:"mc_seed,omitempty"`
+	Shards    int     `json:"shards,omitempty"`
 }
 
 // BatchRequest is the wire form of POST /v1/solve/batch: one link set
@@ -81,6 +82,7 @@ func (q *BatchRequest) solveRequest(c BatchConfig) SolveRequest {
 		Cutoff:    q.Cutoff,
 		MCSlots:   c.MCSlots,
 		MCSeed:    c.MCSeed,
+		Shards:    c.Shards,
 	}
 	if c.Eps != 0 {
 		r.Eps = c.Eps

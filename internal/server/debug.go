@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -18,9 +19,10 @@ import (
 //	                               traces with per-span breakdowns
 //	GET /debug/requests/{id}       one trace as Chrome trace_event JSON
 //	                               (load in chrome://tracing or Perfetto)
-//	GET /debug/state               session table, prepared-cache
-//	                               residency with pin counts, pool
-//	                               occupancy, cache sizes
+//	GET /debug/state               session table, live sharded-solve
+//	                               fan-out, prepared-cache residency
+//	                               with pin counts, pool occupancy,
+//	                               cache sizes
 //
 // They are routed on the public mux (they are cheap, bounded reads;
 // traces never contain request bodies) and skipped by the tracing
@@ -91,15 +93,33 @@ type debugSessionInfo struct {
 	IdleMS        float64 `json:"idle_ms"`
 }
 
+// debugShardSolveInfo is one in-flight tile-sharded solve in
+// GET /debug/state: its shard fan-out so far, read live from the
+// solver's tracer counters while tile workers are still running.
+type debugShardSolveInfo struct {
+	TraceID   string `json:"trace_id,omitempty"`
+	Algorithm string `json:"algorithm"`
+	N         int    `json:"n"`
+	// Shards is the requested tile count (0 = auto-sized).
+	Shards int `json:"shards,omitempty"`
+	// Tiles is the realized partition size; 0 until partitioning ran.
+	Tiles           int64   `json:"tiles"`
+	TilesSolved     int64   `json:"tiles_solved"`
+	TileAdmitted    int64   `json:"tile_admitted"`
+	BoundaryRepairs int64   `json:"boundary_repairs"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
 // debugStateResponse is the wire form of GET /debug/state.
 type debugStateResponse struct {
-	Sessions         []debugSessionInfo `json:"sessions"`
-	SessionsReserved int                `json:"sessions_reserved,omitempty"`
-	MaxSessions      int                `json:"max_sessions"`
-	Prepared         []prepEntryInfo    `json:"prepared_cache"`
-	ResponseCacheLen int                `json:"response_cache_len"`
-	Pool             debugPoolInfo      `json:"pool"`
-	Recorder         obs.RecorderStats  `json:"recorder"`
+	Sessions         []debugSessionInfo    `json:"sessions"`
+	SessionsReserved int                   `json:"sessions_reserved,omitempty"`
+	MaxSessions      int                   `json:"max_sessions"`
+	ShardSolves      []debugShardSolveInfo `json:"sharded_solves,omitempty"`
+	Prepared         []prepEntryInfo       `json:"prepared_cache"`
+	ResponseCacheLen int                   `json:"response_cache_len"`
+	Pool             debugPoolInfo         `json:"pool"`
+	Recorder         obs.RecorderStats     `json:"recorder"`
 }
 
 type debugPoolInfo struct {
@@ -132,10 +152,35 @@ func (s *Server) handleDebugState(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessMu.Unlock()
 
+	s.liveMu.Lock()
+	shardSolves := make([]debugShardSolveInfo, 0, len(s.liveSolves))
+	for ls := range s.liveSolves {
+		// Stats snapshots the tracer under its own mutex; the tile
+		// workers bumping these counters mid-solve are safe concurrent
+		// writers.
+		st := ls.tr.Stats()
+		shardSolves = append(shardSolves, debugShardSolveInfo{
+			TraceID:         ls.traceID,
+			Algorithm:       ls.algorithm,
+			N:               ls.links,
+			Shards:          ls.shards,
+			Tiles:           st.Counter(obs.KeyTiles),
+			TilesSolved:     st.Counter(obs.KeyTilesSolved),
+			TileAdmitted:    st.Counter(obs.KeyTileAdmitted),
+			BoundaryRepairs: st.Counter(obs.KeyBoundaryRepairs),
+			ElapsedMS:       float64(now.Sub(ls.started).Microseconds()) / 1e3,
+		})
+	}
+	s.liveMu.Unlock()
+	sort.Slice(shardSolves, func(i, j int) bool {
+		return shardSolves[i].ElapsedMS > shardSolves[j].ElapsedMS
+	})
+
 	writeJSON(w, http.StatusOK, debugStateResponse{
 		Sessions:         sessions,
 		SessionsReserved: reserved,
 		MaxSessions:      s.cfg.MaxSessions,
+		ShardSolves:      shardSolves,
 		Prepared:         s.preps.snapshot(),
 		ResponseCacheLen: s.cache.len(),
 		Pool: debugPoolInfo{

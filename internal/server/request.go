@@ -46,6 +46,13 @@ type SolveRequest struct {
 	// cacheable).
 	MCSlots int    `json:"mc_slots,omitempty"`
 	MCSeed  uint64 `json:"mc_seed,omitempty"`
+
+	// Shards > 0 pins the tile count of a shard-capable algorithm
+	// ("greedy-sharded"); 0 lets the solver pick from the instance size
+	// and core count. Setting it on an algorithm without a sharded
+	// solve path is a 400 — silently ignoring a performance knob would
+	// make two differently-shaped requests cache-collide.
+	Shards int `json:"shards,omitempty"`
 }
 
 // maxMCSlots caps per-request simulation effort: one request must not
@@ -95,10 +102,35 @@ func (q *SolveRequest) validate(maxLinks int) error {
 	if q.MCSlots < 0 || q.MCSlots > maxMCSlots {
 		return fmt.Errorf("mc_slots %d outside [0, %d]", q.MCSlots, maxMCSlots)
 	}
+	if q.Shards < 0 || q.Shards > sched.MaxShards {
+		return fmt.Errorf("shards %d outside [0, %d]", q.Shards, sched.MaxShards)
+	}
+	if _, err := q.algorithm(); err != nil {
+		return err
+	}
 	if q.TimeoutMS < 0 {
 		return fmt.Errorf("timeout_ms %d must be ≥ 0", q.TimeoutMS)
 	}
 	return nil
+}
+
+// algorithm resolves the registry entry with the request's solve
+// knobs applied: shards > 0 configures a shard-capable algorithm's
+// tile count via sched.Shardable.
+func (q *SolveRequest) algorithm() (sched.Algorithm, error) {
+	a, ok := sched.Lookup(q.Algorithm)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have %v)", q.Algorithm, sched.Names())
+	}
+	if q.Shards > 0 {
+		sh, ok := a.(sched.Shardable)
+		if !ok {
+			return nil, fmt.Errorf("algorithm %q does not take shards (shard-capable: %q)",
+				q.Algorithm, sched.Sharded{}.Name())
+		}
+		a = sh.WithShards(q.Shards)
+	}
+	return a, nil
 }
 
 // fieldOption resolves the backend selector.
@@ -155,6 +187,8 @@ func (q *SolveRequest) hash() cacheKey {
 	binary.LittleEndian.PutUint64(scratch[:], uint64(q.MCSlots))
 	h.Write(scratch[:])
 	binary.LittleEndian.PutUint64(scratch[:], q.MCSeed)
+	h.Write(scratch[:])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(q.Shards))
 	h.Write(scratch[:])
 	binary.LittleEndian.PutUint64(scratch[:], uint64(len(q.Links)))
 	h.Write(scratch[:])

@@ -122,6 +122,13 @@ type Server struct {
 	mux      *http.ServeMux
 	recorder *obs.Recorder // nil when Config.TraceRing < 0
 
+	// Live sharded-solve registry: every in-flight solve running the
+	// tile-sharded algorithm, so GET /debug/state can report shard
+	// fan-out (tiles solved so far, boundary repairs) mid-solve. The
+	// tracer counters it reads are bumped live by the tile workers.
+	liveMu     sync.Mutex
+	liveSolves map[*liveSolve]struct{}
+
 	// Streaming-session registry (session.go). sessCtx is canceled by
 	// Close to unblock live event streams and long-polls before the
 	// HTTP server's own graceful Shutdown waits on them.
@@ -155,6 +162,7 @@ func New(cfg Config) *Server {
 	if s.log == nil {
 		s.log = obs.Discard()
 	}
+	s.liveSolves = make(map[*liveSolve]struct{})
 	s.sessions = make(map[string]*session)
 	s.sessCtx, s.sessCancel = context.WithCancel(context.Background())
 	s.janitorDone = make(chan struct{})
@@ -463,6 +471,10 @@ func cacheAttr(hit bool) string {
 // and encoding. The caller holds a worker-pool slot. The returned body
 // is newline-terminated and ready for the response cache.
 func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomic.Int64) ([]byte, error) {
+	a, err := q.algorithm()
+	if err != nil {
+		return nil, &badRequestError{msg: err.Error()}
+	}
 	root := obs.SpanFrom(ctx)
 	prepSp := root.Child("prepare")
 	prep, err := s.prepared(obs.ContextWithSpan(ctx, prepSp), q, builds)
@@ -482,10 +494,15 @@ func (s *Server) solveToBody(ctx context.Context, q *SolveRequest, builds *atomi
 	solveSp := root.Child("solve")
 	if solveSp.Enabled() {
 		solveSp.SetInt("links", int64(pr.N()))
+		if q.Shards > 0 {
+			solveSp.SetInt("shards", int64(q.Shards))
+		}
 	}
 	tr := obs.NewTracer().AttachSpan(solveSp)
 	ctx = obs.WithTracer(ctx, tr)
-	schedule, err := solve(ctx, q.Algorithm, prep)
+	live := s.trackLiveSolve(ctx, a, pr.N(), tr)
+	schedule, err := solve(ctx, a, prep)
+	s.untrackLiveSolve(live)
 	solveSp.End()
 	if err != nil {
 		s.metrics.SolveError()
@@ -553,18 +570,61 @@ type badRequestError struct{ msg string }
 
 func (e *badRequestError) Error() string { return e.msg }
 
-// solve runs the algorithm through the prepared handle's pooled
-// scratch, converting solver panics into errors so a valid-JSON
+// solve runs the resolved algorithm through the prepared handle's
+// pooled scratch, converting solver panics into errors so a valid-JSON
 // request can never drop the connection: the library's panic contracts
 // (Exact refusing n > MaxN) are programmer guards, not acceptable
 // daemon behavior.
-func solve(ctx context.Context, name string, prep *sched.Prepared) (s sched.Schedule, err error) {
+func solve(ctx context.Context, a sched.Algorithm, prep *sched.Prepared) (s sched.Schedule, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = &solverRefusedError{reason: fmt.Sprintf("solver %q refused the instance: %v", name, r)}
+			err = &solverRefusedError{reason: fmt.Sprintf("solver %q refused the instance: %v", a.Name(), r)}
 		}
 	}()
-	return prep.SolveContext(ctx, name)
+	return prep.ScheduleContext(ctx, a)
+}
+
+// liveSolve is one in-flight sharded solve, registered for the
+// lifetime of the solver call so GET /debug/state can snapshot its
+// tile fan-out from the (mutex-protected) tracer counters.
+type liveSolve struct {
+	traceID   string
+	algorithm string
+	shards    int // requested tile count; 0 = auto
+	links     int
+	started   time.Time
+	tr        *obs.Tracer
+}
+
+// trackLiveSolve registers a solve in the live registry when the
+// resolved algorithm is tile-sharded; for every other algorithm it is
+// a no-op returning nil (untrackLiveSolve tolerates nil).
+func (s *Server) trackLiveSolve(ctx context.Context, a sched.Algorithm, links int, tr *obs.Tracer) *liveSolve {
+	sh, ok := a.(sched.Sharded)
+	if !ok {
+		return nil
+	}
+	ls := &liveSolve{
+		traceID:   obs.TraceIDFrom(ctx),
+		algorithm: a.Name(),
+		shards:    sh.Shards,
+		links:     links,
+		started:   time.Now(),
+		tr:        tr,
+	}
+	s.liveMu.Lock()
+	s.liveSolves[ls] = struct{}{}
+	s.liveMu.Unlock()
+	return ls
+}
+
+func (s *Server) untrackLiveSolve(ls *liveSolve) {
+	if ls == nil {
+		return
+	}
+	s.liveMu.Lock()
+	delete(s.liveSolves, ls)
+	s.liveMu.Unlock()
 }
 
 // writeRequestFailure maps a solveToBody error onto HTTP: client

@@ -129,7 +129,7 @@ func TestSolveHappyPathAllAlgorithms(t *testing.T) {
 			// design (the paper's Fig. 5 point), so only the fading-aware
 			// algorithms must verify feasible.
 			fadingAware := map[string]bool{"ldp": true, "ldp-banded": true, "rle": true,
-				"greedy": true, "exact": true, "dls": true}
+				"greedy": true, "greedy-sharded": true, "exact": true, "dls": true}
 			if fadingAware[name] && !out.Feasible {
 				t.Errorf("%s returned infeasible schedule", name)
 			}

@@ -75,13 +75,45 @@ go test -run 'TestHalfPow|TestLog1pPos|TestFieldKernel|TestFactorRowSpan' -count
 echo "== sparse construction gate"
 # The sparse backend must stay conservative-only (stored factors
 # bit-identical to dense, truncation never over-admits) and must beat
-# the dense fill at n=5000 — the scale the CSR-grid build exists for.
+# the dense fill at scale — n=8000 since the pair-fused dense fill
+# moved the crossover past 5000.
 go test -run 'TestSparseStoredFactorsExact|TestSparseNeverOverAdmits|TestSparseWorkerCountBitIdentical|TestSparseBuildBeatsDenseAtScale' -count=1 ./internal/sched/
 
+echo "== sharded solver gate"
+# The tile-sharded solver under -race: the tile-worker concurrency
+# test, the shards=1 ≡ greedy bit-identity and Monte-Carlo feasibility
+# oracles, and the clustered-layout fuzz seeds (`make test-shard`).
+go test -race -run 'TestSharded|FuzzShardedFeasible' -count=1 ./internal/sched/
+
 echo "== bench smoke"
-# One-iteration pass over the prepared/batch/traffic benchmarks proving
-# the JSON emitter works end to end; the full run is `make bench-json`.
+# One-iteration pass over the prepared/batch/sharded/traffic benchmarks
+# proving the JSON emitter works end to end; the full run is
+# `make bench-json`.
 sh scripts/bench.sh -quick -o /tmp/bench_smoke.json
+
+echo "== bench regression gate"
+# The converged fast subset (warm prepared solves, session events,
+# traffic slot loop, span lifecycle) against the committed baseline.
+# Two concessions to the shared CI box: the comparison is skipped when
+# the baseline was recorded at a different CPU count (ns/op across
+# core counts is meaningless for parallel benchmarks), and the
+# threshold is 40% with one retry — the box's effective CPU speed was
+# measured swinging ±40% minute-to-minute (BenchmarkSpanLifecycle
+# 159→223 ns on identical code), so a tighter wall-clock gate flakes
+# on quiet trees. benchcmp's 10% default remains for manual
+# same-conditions comparisons.
+baseline=BENCH_PR10.json
+base_procs=$(sed -n 's/.*"maxprocs": *\([0-9][0-9]*\).*/\1/p' "$baseline")
+cur_procs=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+sh scripts/bench.sh -gate -o /tmp/bench_gate.json
+if [ -n "$base_procs" ] && [ "$base_procs" != "$cur_procs" ]; then
+    echo "bench gate: baseline at $base_procs CPUs, runner has $cur_procs — advisory only"
+    sh scripts/benchcmp.sh "$baseline" /tmp/bench_gate.json 40 || true
+elif ! sh scripts/benchcmp.sh "$baseline" /tmp/bench_gate.json 40; then
+    echo "bench gate: retrying once (shared-runner noise)"
+    sh scripts/bench.sh -gate -o /tmp/bench_gate.json
+    sh scripts/benchcmp.sh "$baseline" /tmp/bench_gate.json 40
+fi
 
 echo "== serve smoke"
 # Boot the daemon end to end: listen, solve one instance over HTTP,
